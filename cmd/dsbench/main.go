@@ -1,0 +1,65 @@
+// Command dsbench runs the reproduction experiments (DESIGN.md E1..E12) and
+// prints their result tables. With no flags it runs everything;
+// -run selects experiments by comma-separated id (e.g. -run E4,E9).
+//
+//	dsbench            # all experiments
+//	dsbench -run E6    # just the Example 1 relaxation study
+//	dsbench -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/csrd-repro/datasync/internal/exper"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment ids to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	md := flag.Bool("md", false, "render tables as GitHub markdown")
+	flag.Parse()
+
+	all := exper.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*runFlag, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+	failed := false
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		if *md {
+			fmt.Printf("### %s: %s\n\n", e.ID, e.Title)
+		} else {
+			fmt.Printf("==== %s: %s ====\n\n", e.ID, e.Title)
+		}
+		tables, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		for _, t := range tables {
+			if *md {
+				fmt.Println(t.Markdown())
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Command dssim runs a single Doacross simulation: a workload (built in, or
+// a .do file in the lang syntax) under one synchronization scheme on a
+// configurable machine, and prints the measurements.
+//
+//	dssim -workload fig21 -scheme process -p 4 -x 8
+//	dssim -workload nested -scheme ref -p 8
+//	dssim -file loop.do -scheme statement -p 4 -buslat 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/lang"
+	"github.com/csrd-repro/datasync/internal/sim"
+	"github.com/csrd-repro/datasync/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "fig21", "built-in workload: fig21, nested, branchy, recurrence")
+	file := flag.String("file", "", "run a .do file instead of a built-in workload")
+	schemeName := flag.String("scheme", "process", "process, process-basic, pipeline, statement, ref, instance")
+	n := flag.Int64("n", 200, "iterations (outer extent for nested)")
+	m := flag.Int64("m", 20, "inner extent (nested workload)")
+	d := flag.Int64("d", 2, "dependence distance (recurrence workload)")
+	cost := flag.Int64("cost", 4, "statement cost in cycles")
+	p := flag.Int("p", 4, "processors")
+	x := flag.Int("x", 8, "process counters (process schemes)")
+	k := flag.Int("k", 0, "statement counters (statement scheme; 0 = one per source)")
+	g := flag.Int64("g", 1, "inner iterations per sync point (pipeline scheme)")
+	busLat := flag.Int64("buslat", 1, "sync bus broadcast latency")
+	coverage := flag.Bool("coverage", false, "enable write-coverage optimization")
+	memLat := flag.Int64("memlat", 2, "memory module latency")
+	modules := flag.Int("modules", 0, "memory modules (0 = one per processor)")
+	trace := flag.Bool("trace", false, "print a per-processor execution timeline")
+	traceWidth := flag.Int("tracewidth", 100, "timeline width in characters")
+	flag.Parse()
+
+	var w *codegen.Workload
+	var err error
+	switch {
+	case *file != "":
+		var src []byte
+		src, err = os.ReadFile(*file)
+		if err == nil {
+			w, err = lang.Parse(string(src))
+		}
+	case *workload == "fig21":
+		w = workloads.Fig21(*n, *cost)
+	case *workload == "nested":
+		w = workloads.Nested(*n, *m, *cost)
+	case *workload == "branchy":
+		w = workloads.Branchy(*n, *cost)
+	case *workload == "recurrence":
+		w = workloads.Recurrence(*n, *d, *cost)
+	default:
+		err = fmt.Errorf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var sch codegen.Scheme
+	switch *schemeName {
+	case "process":
+		sch = codegen.ProcessOriented{X: *x, Improved: true}
+	case "process-basic":
+		sch = codegen.ProcessOriented{X: *x, Improved: false}
+	case "pipeline":
+		sch = codegen.PipelinedOuter{X: *x, G: *g}
+	case "statement":
+		sch = codegen.StatementOriented{K: *k}
+	case "ref":
+		sch = codegen.RefBased{}
+	case "instance":
+		sch = codegen.NewInstanceBased()
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
+	}
+
+	mods := *modules
+	if mods == 0 {
+		mods = *p
+	}
+	cfg := sim.Config{
+		Processors:    *p,
+		BusLatency:    *busLat,
+		BusCoverage:   *coverage,
+		MemLatency:    *memLat,
+		Modules:       mods,
+		SyncOpCost:    1,
+		SchedOverhead: 1,
+	}
+	var res codegen.Result
+	var events []sim.TraceEvent
+	var err2 error
+	if *trace {
+		res, events, err2 = codegen.RunTraced(w, sch, cfg)
+	} else {
+		res, err2 = codegen.Run(w, sch, cfg)
+	}
+	if err2 != nil {
+		fatal(err2)
+	}
+	st := res.Stats
+	fmt.Printf("workload:        %s (%d iterations)\n", w.Name, st.Iterations)
+	fmt.Printf("scheme:          %s\n", res.Scheme)
+	fmt.Printf("machine:         P=%d busLat=%d coverage=%v memLat=%d modules=%d\n",
+		*p, *busLat, *coverage, *memLat, mods)
+	fmt.Printf("serial cycles:   %d\n", res.SerialCycles)
+	fmt.Printf("parallel cycles: %d (speedup %.2f, utilization %.3f)\n",
+		st.Cycles, res.Speedup(), st.Utilization())
+	fmt.Printf("sync vars:       %d (init ops %d, storage %d words)\n",
+		res.Foot.SyncVars, res.Foot.InitOps, res.Foot.StorageWords)
+	fmt.Printf("sync ops:        %d (wait cycles %d)\n", st.SyncOps, st.WaitSyncTotal())
+	fmt.Printf("bus broadcasts:  %d (saved by coverage %d)\n", st.BusBroadcasts, st.BusSaved)
+	fmt.Printf("module accesses: %d (queue wait %d, max backlog %d, polls %d)\n",
+		st.ModuleAccesses, st.ModuleQueueWait, st.MaxModuleQueue, st.Polls)
+	fmt.Printf("serial-equivalence check: PASS\n")
+	if *trace {
+		fmt.Println()
+		fmt.Print(sim.TraceTimeline(events, *p, st.Cycles, *traceWidth))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dssim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module github.com/csrd-repro/datasync
+
+go 1.22

@@ -1,0 +1,231 @@
+// Package barrier implements the three barrier algorithms Example 4 of the
+// paper compares:
+//
+//   - the counter barrier: one shared counter incremented atomically on
+//     arrival and polled until all P processors have arrived — the polling
+//     converges on one memory module and creates the hot spot;
+//   - the Brooks butterfly barrier [6]: log2(P) pairwise stages over a
+//     P x log2(P) flag matrix, no atomic operations, no hot spot;
+//   - the paper's process-counter butterfly (Fig 5.4): the same
+//     communication pattern over just P process counters — one per
+//     processor, set_PC(i) then spin on PC[pid xor 2^(i-1)].step >= i —
+//     needing "fewer synchronization variables and operations" than [6].
+//
+// All three exist as simulator op builders (for the hot-spot measurements
+// of experiment E9) and as runtime implementations over goroutines.
+// Rounds are monotone, so none of the implementations needs sense reversal.
+package barrier
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/csrd-repro/datasync/internal/sim"
+)
+
+// Log2 returns log2(p) for a power of two, panicking otherwise (the
+// butterfly pattern requires it; the paper notes the extension to other P
+// needs only minor modification).
+func Log2(p int) int {
+	if p < 1 || p&(p-1) != 0 {
+		panic(fmt.Sprintf("barrier: %d processors, need a power of two", p))
+	}
+	return bits.TrailingZeros(uint(p))
+}
+
+// ---- Simulator builders ----
+
+// SimCounter is the counter barrier on a simulated machine: the counter
+// lives in one memory module, arrivals are RMWs and the departure spin is
+// polling traffic through the same module.
+type SimCounter struct {
+	v sim.VarID
+	p int
+}
+
+// NewSimCounter places the barrier counter in the given module.
+func NewSimCounter(m *sim.Machine, module int) *SimCounter {
+	return &SimCounter{v: m.NewMemVar("barrier:count", module, 0), p: m.Config().Processors}
+}
+
+// Ops returns one processor's ops for the round-th barrier episode
+// (rounds are 1-based): arrive, then poll until all P arrived.
+func (b *SimCounter) Ops(round int64) []sim.Op {
+	return []sim.Op{
+		sim.RMW(b.v, func(x int64) int64 { return x + 1 }, fmt.Sprintf("barrier:arrive r%d", round)),
+		sim.WaitGE(b.v, round*int64(b.p), fmt.Sprintf("barrier:depart r%d", round)),
+	}
+}
+
+// Vars returns the number of synchronization variables used (always 1).
+func (b *SimCounter) Vars() int { return 1 }
+
+// SimFlags is the Brooks butterfly over a flag matrix. Flags may live in
+// memory modules (spread round-robin, as on a machine without
+// synchronization registers) or in broadcast registers.
+type SimFlags struct {
+	p, stages int
+	flags     [][]sim.VarID // [stage][pid]
+}
+
+// NewSimFlags declares the P x log2(P) flag matrix.
+func NewSimFlags(m *sim.Machine, res sim.Residence) *SimFlags {
+	p := m.Config().Processors
+	stages := Log2(p)
+	b := &SimFlags{p: p, stages: stages}
+	mods := m.Config().Modules
+	for s := 0; s < stages; s++ {
+		row := make([]sim.VarID, p)
+		for pid := 0; pid < p; pid++ {
+			name := fmt.Sprintf("bfly:f[%d][%d]", s, pid)
+			if res == sim.Memory {
+				row[pid] = m.NewMemVar(name, pid%mods, 0)
+			} else {
+				row[pid] = m.NewRegVar(name, 0)
+			}
+		}
+		b.flags = append(b.flags, row)
+	}
+	return b
+}
+
+// Ops returns processor pid's ops for barrier round (1-based): per stage,
+// publish own flag for the round, then wait for the partner's.
+func (b *SimFlags) Ops(pid int, round int64) []sim.Op {
+	var ops []sim.Op
+	for s := 0; s < b.stages; s++ {
+		partner := pid ^ (1 << s)
+		ops = append(ops,
+			sim.WriteVar(b.flags[s][pid], round, fmt.Sprintf("bfly:set p%d s%d r%d", pid, s, round)),
+			sim.WaitGE(b.flags[s][partner], round, fmt.Sprintf("bfly:wait p%d s%d r%d", pid, s, round)),
+		)
+	}
+	return ops
+}
+
+// Vars returns the number of synchronization variables used.
+func (b *SimFlags) Vars() int { return b.p * b.stages }
+
+// SimPCBarrier is the paper's Fig 5.4: one process counter per processor
+// (a synchronization register; process == processor, so no folding and no
+// ownership transfer), set_PC(i) then spin on the stage-i partner's step.
+type SimPCBarrier struct {
+	p, stages int
+	pcs       []sim.VarID
+}
+
+// NewSimPCBarrier declares the P process counters.
+func NewSimPCBarrier(m *sim.Machine) *SimPCBarrier {
+	p := m.Config().Processors
+	b := &SimPCBarrier{p: p, stages: Log2(p), pcs: make([]sim.VarID, p)}
+	for pid := 0; pid < p; pid++ {
+		b.pcs[pid] = m.NewRegVar(fmt.Sprintf("bfly:PC[%d]", pid), 0)
+	}
+	return b
+}
+
+// Ops returns processor pid's ops for barrier round (1-based). Stage
+// numbering continues across rounds so the step stays monotone.
+func (b *SimPCBarrier) Ops(pid int, round int64) []sim.Op {
+	var ops []sim.Op
+	base := (round - 1) * int64(b.stages)
+	for s := 0; s < b.stages; s++ {
+		step := base + int64(s) + 1
+		partner := pid ^ (1 << s)
+		ops = append(ops,
+			sim.WriteVar(b.pcs[pid], step, fmt.Sprintf("pcbfly:set p%d i%d", pid, step)),
+			sim.WaitGE(b.pcs[partner], step, fmt.Sprintf("pcbfly:wait p%d i%d", pid, step)),
+		)
+	}
+	return ops
+}
+
+// Vars returns the number of synchronization variables used (P).
+func (b *SimPCBarrier) Vars() int { return b.p }
+
+// ---- Runtime implementations ----
+
+// Counter is the runtime counter barrier.
+type Counter struct {
+	p     int64
+	count atomic.Int64
+	round []int64
+}
+
+// NewCounter builds a counter barrier for p participants.
+func NewCounter(p int) *Counter {
+	if p < 1 {
+		panic("barrier: need at least one participant")
+	}
+	return &Counter{p: int64(p), round: make([]int64, p)}
+}
+
+// Await blocks participant pid until all participants of the current round
+// have arrived.
+func (b *Counter) Await(pid int) {
+	b.round[pid]++
+	r := b.round[pid]
+	b.count.Add(1)
+	for b.count.Load() < r*b.p {
+		runtime.Gosched()
+	}
+}
+
+// Flags is the runtime Brooks butterfly barrier.
+type Flags struct {
+	p, stages int
+	flags     [][]atomic.Int64 // [stage][pid]
+	round     []int64
+}
+
+// NewFlags builds a butterfly barrier over flags for p participants
+// (p must be a power of two).
+func NewFlags(p int) *Flags {
+	stages := Log2(p)
+	b := &Flags{p: p, stages: stages, round: make([]int64, p)}
+	for s := 0; s < stages; s++ {
+		b.flags = append(b.flags, make([]atomic.Int64, p))
+	}
+	return b
+}
+
+// Await blocks participant pid until all participants arrive.
+func (b *Flags) Await(pid int) {
+	b.round[pid]++
+	r := b.round[pid]
+	for s := 0; s < b.stages; s++ {
+		partner := pid ^ (1 << s)
+		b.flags[s][pid].Store(r)
+		for b.flags[s][partner].Load() < r {
+			runtime.Gosched()
+		}
+	}
+}
+
+// PCButterfly is the runtime process-counter butterfly of Fig 5.4.
+type PCButterfly struct {
+	p, stages int
+	pcs       []atomic.Int64
+	step      []int64
+}
+
+// NewPCButterfly builds the barrier for p participants (a power of two).
+func NewPCButterfly(p int) *PCButterfly {
+	return &PCButterfly{p: p, stages: Log2(p), pcs: make([]atomic.Int64, p), step: make([]int64, p)}
+}
+
+// Await blocks participant pid until all participants arrive: per stage,
+// set_PC(step) then spin while PC[pid xor 2^(i-1)].step < step.
+func (b *PCButterfly) Await(pid int) {
+	for s := 0; s < b.stages; s++ {
+		b.step[pid]++
+		step := b.step[pid]
+		b.pcs[pid].Store(step)
+		partner := pid ^ (1 << s)
+		for b.pcs[partner].Load() < step {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package barrier
+
+import (
+	"testing"
+
+	"github.com/csrd-repro/datasync/internal/sim"
+)
+
+func TestStages(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4}
+	for p, want := range cases {
+		if got := Stages(p); got != want {
+			t.Errorf("Stages(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestSimDisseminationAnyP(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 6, 8, 12} {
+		p := p
+		simBarrierHolds(t, p, 5, func(m *sim.Machine) func(int, int64) []sim.Op {
+			b := NewSimDissemination(m, sim.Memory)
+			if b.Vars() != p*Stages(p) {
+				t.Errorf("P=%d Vars = %d, want %d", p, b.Vars(), p*Stages(p))
+			}
+			return b.Ops
+		})
+	}
+}
+
+func TestSimDisseminationRegister(t *testing.T) {
+	simBarrierHolds(t, 5, 4, func(m *sim.Machine) func(int, int64) []sim.Op {
+		return NewSimDissemination(m, sim.Register).Ops
+	})
+}
+
+func TestSimPCDisseminationAnyP(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7, 8, 11} {
+		p := p
+		simBarrierHolds(t, p, 5, func(m *sim.Machine) func(int, int64) []sim.Op {
+			b := NewSimPCDissemination(m)
+			if b.Vars() != p {
+				t.Errorf("P=%d Vars = %d, want %d", p, b.Vars(), p)
+			}
+			return b.Ops
+		})
+	}
+}
+
+func TestRuntimeDisseminationAnyP(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 10} {
+		b := NewDissemination(p)
+		runtimeBarrierHolds(t, p, 30, b.Await)
+	}
+}
+
+// TestPCDisseminationNoModuleTraffic: register-resident PCs keep the
+// barrier off the memory modules entirely.
+func TestPCDisseminationNoModuleTraffic(t *testing.T) {
+	stats := simBarrierHolds(t, 6, 4, func(m *sim.Machine) func(int, int64) []sim.Op {
+		return NewSimPCDissemination(m).Ops
+	})
+	if stats.ModuleAccesses != 0 {
+		t.Errorf("PC dissemination produced %d module accesses", stats.ModuleAccesses)
+	}
+}

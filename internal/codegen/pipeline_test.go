@@ -1,0 +1,102 @@
+package codegen_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/sim"
+	"github.com/csrd-repro/datasync/internal/workloads"
+)
+
+// TestPipelinedOuterStencil: the generic outer pipeline on the Example 1
+// stencil matches serial execution across X, G and P.
+func TestPipelinedOuterStencil(t *testing.T) {
+	for _, g := range []int64{1, 3, 8} {
+		for _, x := range []int{1, 2, 8} {
+			for _, p := range []int{1, 3, 4} {
+				res, err := codegen.Run(workloads.Stencil(18, 4),
+					codegen.PipelinedOuter{X: x, G: g}, cfg(p))
+				if err != nil {
+					t.Fatalf("G=%d X=%d P=%d: %v", g, x, p, err)
+				}
+				if res.Stats.Iterations != 17 {
+					t.Errorf("G=%d: processes = %d, want 17 (one per outer iteration)",
+						g, res.Stats.Iterations)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedOuterNested: Example 2's nest runs pipelined (outer Doacross)
+// as an alternative to full coalescing, and both match serial execution.
+func TestPipelinedOuterNested(t *testing.T) {
+	res, err := codegen.Run(workloads.Nested(12, 10, 4),
+		codegen.PipelinedOuter{X: 8, G: 1}, cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coal, err := codegen.Run(workloads.Nested(12, 10, 4),
+		codegen.ProcessOriented{X: 8, Improved: true}, cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pipelining synchronizes once per inner iteration instead of once per
+	// statement instance: fewer sync ops.
+	if res.Stats.SyncOps >= coal.Stats.SyncOps {
+		t.Errorf("pipeline sync ops %d not fewer than coalesced %d",
+			res.Stats.SyncOps, coal.Stats.SyncOps)
+	}
+}
+
+// TestPipelinedOuterGroupingReducesSync: raising G divides publications.
+func TestPipelinedOuterGroupingReducesSync(t *testing.T) {
+	var prev int64 = 1 << 60
+	for _, g := range []int64{1, 4, 16} {
+		res, err := codegen.Run(workloads.Stencil(20, 4),
+			codegen.PipelinedOuter{X: 8, G: g}, cfg(4))
+		if err != nil {
+			t.Fatalf("G=%d: %v", g, err)
+		}
+		if res.Stats.BusBroadcasts >= prev {
+			t.Errorf("G=%d broadcasts %d not fewer than previous %d", g, res.Stats.BusBroadcasts, prev)
+		}
+		prev = res.Stats.BusBroadcasts
+	}
+}
+
+// TestPipelinedOuterMatchesHandBuilt: the generic scheme and the hand-built
+// Fig 5.1b program produce comparable pipelines on the same machine.
+func TestPipelinedOuterMatchesHandBuilt(t *testing.T) {
+	r := workloads.Relax{N: 20, Cost: 6, G: 1}
+
+	mHand := sim.New(cfg(4))
+	handStats, err := mHand.RunLoop(r.N-1, r.PipelinedPC(mHand, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := codegen.Run(workloads.Stencil(r.N, r.Cost),
+		codegen.PipelinedOuter{X: 8, G: 1}, cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same compute volume, same schedule shape: within 25% of each other.
+	lo, hi := handStats.Cycles*3/4, handStats.Cycles*5/4
+	if res.Stats.Cycles < lo || res.Stats.Cycles > hi {
+		t.Errorf("generic pipeline %d cycles vs hand-built %d: outside 25%%",
+			res.Stats.Cycles, handStats.Cycles)
+	}
+}
+
+// TestPipelinedOuterRejectsBadShapes: depth-1 nests and unknown distances
+// are refused with clear errors.
+func TestPipelinedOuterRejectsBadShapes(t *testing.T) {
+	m := sim.New(cfg(2))
+	w := workloads.Fig21(10, 1)
+	w.Setup(m.Mem())
+	_, _, err := codegen.PipelinedOuter{X: 2, G: 1}.Instrument(m, w)
+	if err == nil || !strings.Contains(err.Error(), "depth-2") {
+		t.Errorf("depth-1 nest accepted: %v", err)
+	}
+}

@@ -1,0 +1,177 @@
+package codegen_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/expr"
+	"github.com/csrd-repro/datasync/internal/workloads"
+)
+
+// TestRunRuntimeFig21 executes the canonical loop on real goroutines via
+// the full analysis + placement path.
+func TestRunRuntimeFig21(t *testing.T) {
+	for _, cfg := range []struct{ x, procs int }{{1, 2}, {4, 4}, {8, 3}} {
+		if _, err := codegen.RunRuntime(workloads.Fig21(300, 1), cfg.x, cfg.procs); err != nil {
+			t.Errorf("X=%d procs=%d: %v", cfg.x, cfg.procs, err)
+		}
+	}
+}
+
+// TestRunRuntimeNested runs the coalesced Example 2 nest on goroutines.
+func TestRunRuntimeNested(t *testing.T) {
+	if _, err := codegen.RunRuntime(workloads.Nested(20, 15, 1), 8, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRuntimeBranchy runs the Example 3 loop on goroutines: covering
+// marks must keep every path live under real concurrency.
+func TestRunRuntimeBranchy(t *testing.T) {
+	if _, err := codegen.RunRuntime(workloads.Branchy(200, 1), 4, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRuntimeRandom is the runtime-side property test: random loops,
+// real goroutines, exact serial equivalence.
+func TestRunRuntimeRandom(t *testing.T) {
+	trials := 15
+	if testing.Short() {
+		trials = 4
+	}
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < trials; trial++ {
+		n := int64(30 + rng.Intn(80))
+		nStmts := 1 + rng.Intn(5)
+		x := 1 + rng.Intn(8)
+		procs := 1 + rng.Intn(6)
+		seed := rng.Int63()
+		w := workloads.Random(rand.New(rand.NewSource(seed)), n, nStmts)
+		if _, err := codegen.RunRuntime(w, x, procs); err != nil {
+			t.Fatalf("trial %d (seed %d n=%d stmts=%d X=%d procs=%d): %v",
+				trial, seed, n, nStmts, x, procs, err)
+		}
+	}
+}
+
+// TestRunRuntimePipelinedStencil: Example 1's pipeline on goroutines.
+func TestRunRuntimePipelinedStencil(t *testing.T) {
+	for _, g := range []int64{1, 4} {
+		if _, err := codegen.RunRuntimePipelined(workloads.Stencil(30, 1), 8, 4, g); err != nil {
+			t.Errorf("G=%d: %v", g, err)
+		}
+	}
+}
+
+// TestRunRuntimePipelinedNested: outer pipelining of Example 2's nest.
+func TestRunRuntimePipelinedNested(t *testing.T) {
+	if _, err := codegen.RunRuntimePipelined(workloads.Nested(25, 20, 1), 4, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRuntimePipelinedRejectsDepth1 propagates shape errors.
+func TestRunRuntimePipelinedRejectsDepth1(t *testing.T) {
+	if _, err := codegen.RunRuntimePipelined(workloads.Fig21(10, 1), 2, 2, 1); err == nil {
+		t.Error("depth-1 workload accepted")
+	}
+}
+
+// TestUnknownDistanceRejected: a loop with a non-constant dependence
+// distance cannot be instrumented by the constant-distance schemes.
+func TestUnknownDistanceRejected(t *testing.T) {
+	w := workloads.Fig21(10, 1)
+	// Corrupt S5 to read A[1] (constant subscript) so the write A[I]
+	// creates an unknown-distance dependence.
+	s5 := w.Nest.Stmts()[4]
+	s5.Reads[0].Index[0] = expr.Const(1, 1)
+	for _, sch := range []codegen.Scheme{
+		codegen.ProcessOriented{X: 2, Improved: true},
+		codegen.StatementOriented{},
+	} {
+		if _, err := codegen.Run(w, sch, cfg(2)); err == nil ||
+			!strings.Contains(err.Error(), "constant distance") {
+			t.Errorf("%s: err = %v, want constant-distance rejection", sch.Name(), err)
+		}
+	}
+	if _, err := codegen.RunRuntime(w, 2, 2); err == nil {
+		t.Error("runtime executor accepted unknown-distance workload")
+	}
+}
+
+// TestRunRuntimeReturnsMemory: the returned memory holds the results.
+func TestRunRuntimeReturnsMemory(t *testing.T) {
+	mem, err := codegen.RunRuntime(workloads.Fig21(50, 1), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mem.Lookup("OUT")
+	if out == nil {
+		t.Fatal("OUT array missing")
+	}
+	// OUT[1] = A[0] initial = 1000+0.
+	if got := out.Get(1); got != 1000 {
+		t.Errorf("OUT[1] = %d, want 1000", got)
+	}
+}
+
+type codegenWorkload = codegen.Workload
+
+// TestRunRuntimeStatementMatrix: the statement-oriented runtime executor
+// across workloads and counter budgets.
+func TestRunRuntimeStatementMatrix(t *testing.T) {
+	for _, k := range []int{0, 1, 2} {
+		if _, err := codegen.RunRuntimeStatement(workloads.Fig21(200, 1), k, 4); err != nil {
+			t.Errorf("fig21 K=%d: %v", k, err)
+		}
+		if _, err := codegen.RunRuntimeStatement(workloads.Branchy(120, 1), k, 3); err != nil {
+			t.Errorf("branchy K=%d: %v", k, err)
+		}
+	}
+	if _, err := codegen.RunRuntimeStatement(workloads.Nested(15, 12, 1), 0, 4); err != nil {
+		t.Errorf("nested: %v", err)
+	}
+}
+
+// TestRunRuntimeRefBasedMatrix: the key-protocol runtime executor.
+func TestRunRuntimeRefBasedMatrix(t *testing.T) {
+	for _, w := range []func() *codegenWorkload{
+		func() *codegenWorkload { return workloads.Fig21(150, 1) },
+		func() *codegenWorkload { return workloads.Branchy(100, 1) },
+		func() *codegenWorkload { return workloads.Nested(12, 10, 1) },
+		func() *codegenWorkload { return workloads.SelfRMW(80, 1) },
+	} {
+		if _, err := codegen.RunRuntimeRefBased(w(), 4); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestAllRuntimeExecutorsRandom: process, statement and ref-based runtime
+// executors over random loops.
+func TestAllRuntimeExecutorsRandom(t *testing.T) {
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < trials; trial++ {
+		n := int64(30 + rng.Intn(60))
+		nStmts := 1 + rng.Intn(4)
+		procs := 1 + rng.Intn(5)
+		seed := rng.Int63()
+		mk := func() *codegenWorkload { return workloads.Random(rand.New(rand.NewSource(seed)), n, nStmts) }
+		if _, err := codegen.RunRuntime(mk(), 4, procs); err != nil {
+			t.Fatalf("trial %d process: %v", trial, err)
+		}
+		if _, err := codegen.RunRuntimeStatement(mk(), 0, procs); err != nil {
+			t.Fatalf("trial %d statement: %v", trial, err)
+		}
+		if _, err := codegen.RunRuntimeRefBased(mk(), procs); err != nil {
+			t.Fatalf("trial %d ref-based: %v", trial, err)
+		}
+	}
+}

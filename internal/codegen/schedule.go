@@ -1,0 +1,89 @@
+package codegen
+
+import (
+	"github.com/csrd-repro/datasync/internal/deps"
+	"github.com/csrd-repro/datasync/internal/loop"
+)
+
+// The process-oriented synchronization placement, independent of whether
+// the result runs on the simulator or on goroutines: a per-iteration
+// schedule of waits, statement executions, step publications and the
+// ownership transfer.
+
+type actionKind int
+
+const (
+	actWait     actionKind = iota // wait_PC(dist, step)
+	actStmt                       // execute a statement
+	actPublish                    // set_PC/mark_PC(step)
+	actTransfer                   // transfer_PC / get_PC+release_PC
+)
+
+type action struct {
+	kind actionKind
+	dist int64 // actWait
+	step int64 // actWait, actPublish
+	stmt *deps.Stmt
+}
+
+// transferAtEnd reports whether ownership must be passed at the body end
+// (the statically last source statement sits inside a branch, Example 3).
+func (di *depInfo) transferAtEnd(n *loop.Nest) bool {
+	return di.lastSrc >= 0 && !topLevelStmt(n, di.lastSrc, di)
+}
+
+// schedule builds the iteration's action list: sink waits before each
+// statement (skipping sources before the loop start), publications after
+// each source statement, covering publications for skipped branch arms,
+// and exactly one transfer per iteration that has any source.
+func (di *depInfo) schedule(n *loop.Nest, iter int64) []action {
+	idx := n.IndexOf(iter)
+	endTransfer := di.transferAtEnd(n)
+	var acts []action
+	publish := func(step int64, isLast bool) {
+		if isLast {
+			acts = append(acts, action{kind: actTransfer})
+			return
+		}
+		acts = append(acts, action{kind: actPublish, step: step})
+	}
+	cover := func(nodes []loop.Node) {
+		if max := di.maxSourceStep(nodes); max > 0 {
+			// Covering publication for skipped sources: a waiter on any of
+			// their steps must still be released (Fig 5.3).
+			publish(max, false)
+		}
+	}
+	var walk func(nodes []loop.Node)
+	walk = func(nodes []loop.Node) {
+		for _, node := range nodes {
+			switch v := node.(type) {
+			case loop.StmtNode:
+				p := di.pos[v.S]
+				for _, a := range di.incoming[p] {
+					d := a.Dist[0]
+					if iter-d >= 1 {
+						acts = append(acts, action{kind: actWait, dist: d, step: di.step[a.Src]})
+					}
+				}
+				acts = append(acts, action{kind: actStmt, stmt: v.S})
+				if step, ok := di.step[p]; ok {
+					publish(step, p == di.lastSrc && !endTransfer)
+				}
+			case loop.IfNode:
+				if v.Cond(idx) {
+					walk(v.Then)
+					cover(v.Else)
+				} else {
+					cover(v.Then) // publish early: steps below the arm's own
+					walk(v.Else)
+				}
+			}
+		}
+	}
+	walk(n.Body)
+	if endTransfer {
+		acts = append(acts, action{kind: actTransfer})
+	}
+	return acts
+}

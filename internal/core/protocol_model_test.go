@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ---- Exhaustive interleaving model of the folded improved protocol ----
+//
+// Four processes share X=2 process counters (folded) and execute
+// the improved-primitive protocol for a distance-1, two-source loop:
+//
+//	wait(1, 1); work1; mark(1); work2; transfer
+//
+// The model explores EVERY interleaving of the processes' atomic steps
+// (waits block; only enabled processes may step) and asserts:
+//
+//	(a) safety: a wait releases only after the awaited source statement's
+//	    work has truly executed (or the source process does not exist);
+//	(b) liveness: every interleaving reaches the final state — the folded
+//	    protocol cannot deadlock under in-order process creation.
+
+type mprocState struct {
+	pc   int  // program counter within the protocol steps
+	w1   bool // work1 done (truth for step 1)
+	w2   bool // work2 done
+	done bool
+}
+
+const (
+	modelX     = 2 // folded counters
+	modelProcs = 4 // processes sharing them
+)
+
+type mstate struct {
+	pcVals [modelX]PC
+	procs  [modelProcs]mprocState
+}
+
+func (s mstate) key() string { return fmt.Sprintf("%v", s) }
+
+// protocol steps per process (iter = pid+1):
+//
+//	0: wait_PC(1,1)  — blocks until PC >= <iter-1, 1> (skip if iter == 1)
+//	1: work1         — sets w1 (the source-step-1 truth)
+//	2: mark_PC(1)    — writes <iter,1> iff owner >= iter
+//	3: work2         — sets w2 (the last-source truth)
+//	4: transfer_PC   — blocks until owner >= iter, then writes <iter+1, 0>
+const protoSteps = 5
+
+// enabled reports whether process pid can take its next step, and whether
+// taking it would violate safety.
+func stepProcess(s mstate, pid int) (next mstate, canStep bool, violation string) {
+	p := s.procs[pid]
+	iter := int64(pid) + 1
+	own := Fold(iter, modelX)
+	switch p.pc {
+	case 0: // wait_PC(1,1)
+		if iter == 1 {
+			break // no source process: free
+		}
+		src := iter - 1
+		slot := Fold(src, modelX)
+		released := s.pcVals[slot].GE(PC{Owner: src, Step: 1})
+		if !released {
+			return s, false, ""
+		}
+		// Safety: the source's step-1 work must have happened, or the
+		// source must have fully transferred (which implies it).
+		if !s.procs[src-1].w1 {
+			return s, false, fmt.Sprintf("P%d released by %v before P%d did work1", pid+1, s.pcVals[slot], src)
+		}
+	case 1:
+		p.w1 = true
+	case 2: // mark_PC(1): conditional on ownership
+		if s.pcVals[own].Owner >= iter {
+			s.pcVals[own] = PC{Owner: iter, Step: 1}
+		}
+	case 3:
+		p.w2 = true
+	case 4: // transfer_PC
+		if s.pcVals[own].Owner < iter {
+			return s, false, ""
+		}
+		s.pcVals[own] = PC{Owner: iter + int64(modelX), Step: 0}
+		p.done = true
+	}
+	p.pc++
+	s.procs[pid] = p
+	return s, true, ""
+}
+
+func TestFoldedProtocolExhaustive(t *testing.T) {
+	var start mstate
+	for k := 0; k < modelX; k++ {
+		start.pcVals[k] = InitialPC(k)
+	}
+	seen := map[string]bool{}
+	var explore func(s mstate)
+	deadlocks := 0
+	finals := 0
+	explore = func(s mstate) {
+		k := s.key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		progressed := false
+		allDone := true
+		for pid := 0; pid < modelProcs; pid++ {
+			if s.procs[pid].pc >= protoSteps {
+				continue
+			}
+			allDone = false
+			next, ok, violation := stepProcess(s, pid)
+			if violation != "" {
+				t.Fatalf("safety violation: %s (state %s)", violation, k)
+			}
+			if ok {
+				progressed = true
+				explore(next)
+			}
+		}
+		if allDone {
+			finals++
+			for k := 0; k < modelX; k++ {
+				wantOwner := int64(k) + 1
+				for wantOwner <= modelProcs {
+					wantOwner += modelX
+				}
+				if s.pcVals[k] != (PC{Owner: wantOwner, Step: 0}) {
+					t.Fatalf("final PC[%d] = %v, want <%d,0>", k, s.pcVals[k], wantOwner)
+				}
+			}
+			return
+		}
+		if !progressed {
+			deadlocks++
+			t.Fatalf("deadlock state: %s", k)
+		}
+	}
+	explore(start)
+	if finals == 0 {
+		t.Fatal("no final state reached")
+	}
+	t.Logf("explored %d states, %d final, %d deadlocks", len(seen), finals, deadlocks)
+}
+
+// TestFoldedProtocolBrokenVariantCaught gives the model checker teeth: a
+// compiler bug that publishes the step BEFORE executing the source
+// statement (mark_PC placed ahead of work1) must be caught as a premature
+// wait release.
+func TestFoldedProtocolBrokenVariantCaught(t *testing.T) {
+	var start mstate
+	for k := 0; k < modelX; k++ {
+		start.pcVals[k] = InitialPC(k)
+	}
+	seen := map[string]bool{}
+	violated := false
+	var explore func(s mstate)
+	explore = func(s mstate) {
+		if violated {
+			return
+		}
+		k := s.key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		for pid := 0; pid < modelProcs; pid++ {
+			p := s.procs[pid]
+			if p.pc >= protoSteps {
+				continue
+			}
+			iter := int64(pid) + 1
+			own := Fold(iter, modelX)
+			switch p.pc {
+			case 1: // BUG: mark before the work it is supposed to signal
+				ns := s
+				if ns.pcVals[own].Owner >= iter {
+					ns.pcVals[own] = PC{Owner: iter, Step: 1}
+				}
+				ns.procs[pid].pc++
+				explore(ns)
+			case 2: // the work happens after the publication
+				ns := s
+				ns.procs[pid].w1 = true
+				ns.procs[pid].pc++
+				explore(ns)
+			default:
+				ns, ok, violation := stepProcess(s, pid)
+				if violation != "" {
+					violated = true
+					return
+				}
+				if ok {
+					explore(ns)
+				}
+			}
+		}
+	}
+	explore(start)
+	if !violated {
+		t.Fatal("publish-before-work bug escaped the model checker")
+	}
+}

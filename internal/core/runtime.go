@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PCSet is a real concurrent implementation of a folded set of process
+// counters, each packed into one atomic word. It implements both the basic
+// primitives of Fig 4.2a (Get/Set/Release) and the improved primitives of
+// Fig 4.3 (Mark/Transfer); Bind plays the role of load_index.
+//
+// All waits busy-wait with runtime.Gosched, per the paper's section 6
+// observation that context switching is too expensive for medium-grain
+// synchronization (and so the scheme remains live on a single-core host).
+type PCSet struct {
+	x   int64
+	pcs []atomic.Int64
+}
+
+// NewPCSet builds X process counters initialized to <slot+1, 0>.
+func NewPCSet(x int) *PCSet {
+	if x < 1 {
+		panic("core: need at least one PC")
+	}
+	s := &PCSet{x: int64(x), pcs: make([]atomic.Int64, x)}
+	for k := 0; k < x; k++ {
+		s.pcs[k].Store(InitialPC(k).Pack())
+	}
+	return s
+}
+
+// X returns the number of physical PCs.
+func (s *PCSet) X() int { return int(s.x) }
+
+// Load returns the current value of PC[slot].
+func (s *PCSet) Load(slot int) PC { return Unpack(s.pcs[slot].Load()) }
+
+func (s *PCSet) slot(iter int64) *atomic.Int64 { return &s.pcs[Fold(iter, int(s.x))] }
+
+func spinUntil(v *atomic.Int64, min int64) {
+	for v.Load() < min {
+		runtime.Gosched()
+	}
+}
+
+// Wait is wait_PC(dist, step) for process iter: spin until process
+// iter-dist has completed its step-th source statement. A source before the
+// first iteration does not exist; such waits return immediately.
+func (s *PCSet) Wait(iter, dist, step int64) {
+	src := iter - dist
+	if src < 1 {
+		return
+	}
+	spinUntil(s.slot(src), PC{Owner: src, Step: step}.Pack())
+}
+
+// Get is get_PC(): wait for ownership (wait_PC(0,0)).
+func (s *PCSet) Get(iter int64) {
+	spinUntil(s.slot(iter), PC{Owner: iter, Step: 0}.Pack())
+}
+
+// Set is set_PC(step): requires ownership (call Get first).
+func (s *PCSet) Set(iter, step int64) {
+	s.slot(iter).Store(PC{Owner: iter, Step: step}.Pack())
+}
+
+// Release is release_PC(): pass ownership to process iter+X.
+func (s *PCSet) Release(iter int64) {
+	s.slot(iter).Store(PC{Owner: iter + s.x, Step: 0}.Pack())
+}
+
+// Mark is the improved mark_PC(step): update only when ownership has
+// already been transferred to this process; otherwise proceed without
+// waiting. Safe without an owned flag: once the PC shows owner >= iter it
+// can only be advanced further by this process (or its successors after
+// this process transfers), so re-checking is equivalent to caching.
+func (s *PCSet) Mark(iter, step int64) {
+	v := s.slot(iter)
+	if v.Load() >= (PC{Owner: iter, Step: 0}).Pack() {
+		v.Store(PC{Owner: iter, Step: step}.Pack())
+	}
+}
+
+// Transfer is transfer_PC(): acquire ownership if necessary, then pass the
+// PC to the next owner. Must be called exactly once per iteration, after
+// its last source statement.
+func (s *PCSet) Transfer(iter int64) {
+	s.Get(iter)
+	s.Release(iter)
+}
+
+// Proc is a process counter set bound to one iteration (the result of
+// load_index): the primitives without the iteration argument.
+type Proc struct {
+	s    *PCSet
+	iter int64
+}
+
+// Bind is load_index(lpid): it fixes the iteration the primitives act for.
+func (s *PCSet) Bind(iter int64) *Proc { return &Proc{s: s, iter: iter} }
+
+// Iter returns the bound iteration (lpid).
+func (p *Proc) Iter() int64 { return p.iter }
+
+// Wait is wait_PC(dist, step).
+func (p *Proc) Wait(dist, step int64) { p.s.Wait(p.iter, dist, step) }
+
+// Mark is mark_PC(step).
+func (p *Proc) Mark(step int64) { p.s.Mark(p.iter, step) }
+
+// Transfer is transfer_PC().
+func (p *Proc) Transfer() { p.s.Transfer(p.iter) }
+
+// Runner executes a Doacross loop on real goroutines with in-order
+// self-scheduling, the dynamic scheduling regime the paper assumes. Body
+// receives the 1-based iteration number and its bound process counter; it
+// must call Transfer exactly once (directly or via RunOrdered's wrapper).
+type Runner struct {
+	// X is the number of physical process counters (defaults to 2*Procs,
+	// the paper's "small multiple of the number of processors").
+	X int
+	// Procs is the number of worker goroutines (defaults to GOMAXPROCS).
+	Procs int
+}
+
+// Run executes iterations 1..n of body. It returns the PCSet used, whose
+// final state tests may inspect.
+func (r Runner) Run(n int64, body func(it int64, p *Proc)) *PCSet {
+	procs := r.Procs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	x := r.X
+	if x <= 0 {
+		x = 2 * procs
+	}
+	set := NewPCSet(x)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				it := next.Add(1)
+				if it > n {
+					return
+				}
+				body(it, set.Bind(it))
+			}
+		}()
+	}
+	wg.Wait()
+	// Every iteration must have transferred its PC exactly once; the
+	// final owners are n+1 .. n+x in some slot order.
+	for k := 0; k < x; k++ {
+		owner := Unpack(set.pcs[k].Load()).Owner
+		if owner <= n {
+			panic(fmt.Sprintf("core: iteration %d never transferred its PC", owner))
+		}
+	}
+	return set
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/csrd-repro/datasync/internal/sim"
+)
+
+func TestSimPCsBasicProtocol(t *testing.T) {
+	m := sim.New(sim.Config{Processors: 2, SyncOpCost: 0})
+	pcs := NewSimPCs(m, 2)
+	if len(pcs.Vars()) != 2 {
+		t.Fatalf("Vars = %d, want 2", len(pcs.Vars()))
+	}
+	// Process 1 on proc 0: get, set(1), release. Process 3 on proc 1:
+	// waits for process 1's step 1, then gets ownership after release.
+	progs := [][]sim.Op{
+		{
+			pcs.GetPC(1),
+			sim.Compute(5, nil, "S1@1"),
+			pcs.SetPC(1, 1),
+			pcs.ReleasePC(1),
+		},
+		{
+			pcs.WaitPC(3, 2, 1), // wait_PC(2,1): process 1 at step 1
+			pcs.GetPC(3),
+			sim.Compute(1, nil, "S1@3"),
+			pcs.SetPC(3, 1),
+			pcs.ReleasePC(3),
+		},
+	}
+	if _, err := m.RunProcesses(progs); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 0 ended owned by process 5 (3+X).
+	if got := Unpack(m.VarValue(pcs.Vars()[0])); got != (PC{5, 0}) {
+		t.Errorf("final PC[0] = %v, want <5,0>", got)
+	}
+	// Slot 1 untouched: still owned by process 2.
+	if got := Unpack(m.VarValue(pcs.Vars()[1])); got != (PC{2, 0}) {
+		t.Errorf("final PC[1] = %v, want <2,0>", got)
+	}
+}
+
+func TestSimPCsImprovedProtocol(t *testing.T) {
+	m := sim.New(sim.Config{Processors: 2, BusLatency: 1, SyncOpCost: 0})
+	pcs := NewSimPCs(m, 1)
+	// Process 2's early mark (issued before ownership arrives) is skipped
+	// without waiting; its transfer then blocks until process 1 releases.
+	progs := [][]sim.Op{
+		append([]sim.Op{
+			sim.Compute(10, nil, "slow"),
+			pcs.MarkPC(1, 1),
+		}, pcs.TransferPCOps(1)...),
+		append([]sim.Op{
+			pcs.MarkPC(2, 1), // not owned yet at cycle 0: skipped
+		}, pcs.TransferPCOps(2)...),
+	}
+	stats, err := m.RunProcesses(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Unpack(m.VarValue(pcs.Vars()[0])); got != (PC{3, 0}) {
+		t.Errorf("final PC[0] = %v, want <3,0>", got)
+	}
+	// Broadcasts: process 1's mark and release, process 2's release — the
+	// skipped mark generated no bus traffic.
+	if stats.BusBroadcasts != 3 {
+		t.Errorf("BusBroadcasts = %d, want 3", stats.BusBroadcasts)
+	}
+}
+
+func TestSimPCsTransferRequiresOwnership(t *testing.T) {
+	m := sim.New(sim.Config{Processors: 1, SyncOpCost: 0})
+	pcs := NewSimPCs(m, 1)
+	// Process 2 transferring without process 1 ever releasing: deadlock,
+	// detected by the machine.
+	_, err := m.RunProcesses([][]sim.Op{pcs.TransferPCOps(2)})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v, want deadlock", err)
+	}
+}
+
+func TestSimPCsWaitSatisfiedByOwnershipAdvance(t *testing.T) {
+	m := sim.New(sim.Config{Processors: 1, SyncOpCost: 0})
+	pcs := NewSimPCs(m, 2)
+	// Process 1 releases; a waiter on process 1's step 7 (never marked)
+	// must be satisfied by the ownership advance.
+	ops := append(pcs.TransferPCOps(1), pcs.WaitPC(3, 2, 7))
+	if _, err := m.RunProcesses([][]sim.Op{ops}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPCString(t *testing.T) {
+	if s := (PC{7, 3}).String(); s != "<7,3>" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSplitPCSetAccessors(t *testing.T) {
+	s := NewSplitPCSet(3)
+	if s.X() != 3 {
+		t.Errorf("X = %d", s.X())
+	}
+	if got := s.Load(1); got != (PC{2, 0}) {
+		t.Errorf("Load(1) = %v, want <2,0>", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSplitPCSet(0) did not panic")
+		}
+	}()
+	NewSplitPCSet(0)
+}

@@ -1,0 +1,175 @@
+package deps
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/csrd-repro/datasync/internal/expr"
+)
+
+// ---- Brute-force dependence oracle ----
+//
+// For small iteration spaces the dependence relation can be computed by
+// enumeration: two access instances conflict when they touch the same
+// element and at least one writes. Analyze must be complete (every
+// conflicting ordered pair is implied by a reported arc at the right
+// distance) and sound (every constant-distance arc is witnessed by at
+// least one real conflict inside a large-enough space).
+
+type instance struct {
+	iter int64
+	pos  int // statement body position
+	ref  Ref
+}
+
+// enumerate lists every access instance over iterations 1..n.
+func enumerate(stmts []*Stmt, n int64) []instance {
+	var out []instance
+	for i := int64(1); i <= n; i++ {
+		for pos, s := range stmts {
+			for _, r := range s.refs() {
+				out = append(out, instance{iter: i, pos: pos, ref: r})
+			}
+		}
+	}
+	return out
+}
+
+func conflict(a, b instance) bool {
+	if a.ref.Access == Read && b.ref.Access == Read {
+		return false
+	}
+	if a.ref.Array != b.ref.Array || len(a.ref.Index) != len(b.ref.Index) {
+		return false
+	}
+	for d := range a.ref.Index {
+		if a.ref.Index[d].Eval([]int64{a.iter}) != b.ref.Index[d].Eval([]int64{b.iter}) {
+			return false
+		}
+	}
+	return true
+}
+
+// arcImplies reports whether some reported arc explains the ordered
+// conflicting pair (a executes before b).
+func arcImplies(g *Graph, a, b instance) bool {
+	delta := b.iter - a.iter
+	for _, arc := range g.Arcs {
+		if arc.Src != a.pos || arc.Dst != b.pos {
+			continue
+		}
+		if !arc.Known {
+			return true // unknown-distance arcs conservatively cover the pair
+		}
+		if arc.Dist[0] == delta {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAnalyzeCompleteBruteForce: every ordered conflicting instance pair in
+// a random loop is implied by the analysis.
+func TestAnalyzeCompleteBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const n = 12
+	for trial := 0; trial < 300; trial++ {
+		stmts := randomLoop(rng, 1+rng.Intn(4))
+		g := Analyze(stmts, 1)
+		insts := enumerate(stmts, n)
+		for _, a := range insts {
+			for _, b := range insts {
+				// Ordered pair: a strictly before b in serial execution.
+				if a.iter > b.iter || (a.iter == b.iter && a.pos >= b.pos) {
+					continue
+				}
+				if !conflict(a, b) {
+					continue
+				}
+				if !arcImplies(g, a, b) {
+					t.Fatalf("trial %d: conflict %s@%d(stmt %d) -> %s@%d(stmt %d) not implied\ngraph:\n%s",
+						trial, a.ref, a.iter, a.pos, b.ref, b.iter, b.pos, g)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeSoundBruteForce: every constant-distance arc is witnessed by a
+// real conflicting pair somewhere in a sufficiently large space.
+func TestAnalyzeSoundBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	const n = 16
+	for trial := 0; trial < 300; trial++ {
+		stmts := randomLoop(rng, 1+rng.Intn(4))
+		g := Analyze(stmts, 1)
+		insts := enumerate(stmts, n)
+		for _, arc := range g.Arcs {
+			if !arc.Known {
+				continue
+			}
+			witnessed := false
+			for _, a := range insts {
+				if witnessed {
+					break
+				}
+				if a.pos != arc.Src {
+					continue
+				}
+				for _, b := range insts {
+					if b.pos != arc.Dst || b.iter-a.iter != arc.Dist[0] {
+						continue
+					}
+					if conflict(a, b) {
+						witnessed = true
+						break
+					}
+				}
+			}
+			if !witnessed {
+				t.Fatalf("trial %d: arc %s has no witness in 1..%d\ngraph:\n%s",
+					trial, arc.format(g.Stmts), n, g)
+			}
+		}
+	}
+}
+
+// TestAnalyzeCompleteScaled extends the oracle to scaled subscripts
+// (2*I style), where the GCD test must not discard real conflicts.
+func TestAnalyzeCompleteScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const n = 12
+	mkRef := func() Ref {
+		return Ref{Array: "A", Index: []expr.Affine{
+			expr.Scaled(1, 0, int64(1+rng.Intn(3)), int64(rng.Intn(7)-3))}}
+	}
+	for trial := 0; trial < 300; trial++ {
+		var stmts []*Stmt
+		for si := 0; si < 1+rng.Intn(3); si++ {
+			s := &Stmt{Name: string(rune('A' + si))}
+			if rng.Intn(2) == 0 {
+				s.Writes = []Ref{mkRef()}
+			}
+			for r := rng.Intn(2); r >= 0; r-- {
+				s.Reads = append(s.Reads, mkRef())
+			}
+			stmts = append(stmts, s)
+		}
+		g := Analyze(stmts, 1)
+		insts := enumerate(stmts, n)
+		for _, a := range insts {
+			for _, b := range insts {
+				if a.iter > b.iter || (a.iter == b.iter && a.pos >= b.pos) {
+					continue
+				}
+				if !conflict(a, b) {
+					continue
+				}
+				if !arcImplies(g, a, b) {
+					t.Fatalf("trial %d: scaled conflict %s@%d -> %s@%d not implied\ngraph:\n%s",
+						trial, a.ref, a.iter, b.ref, b.iter, g)
+				}
+			}
+		}
+	}
+}

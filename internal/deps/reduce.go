@@ -1,0 +1,198 @@
+package deps
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Linearize converts a depth-k dependence graph into the depth-1 graph of
+// the coalesced (linearized) loop, as in Example 2 of the paper: the nest is
+// executed as a single loop over the linearized process id
+// lpid = (i1-l1)*N2*...*Nk + ... + (ik-lk) + 1, and each distance vector
+// (d1,...,dk) becomes the scalar distance d1*N2*...*Nk + ... + dk.
+//
+// extents gives the iteration count of each nest level, outermost first.
+// Arcs whose linearized distance is not positive have no realizable
+// instances inside the iteration space and are dropped. Coalescing is
+// conservative: near iteration-space boundaries the linearized dependence
+// may link iterations that were independent in the nest (the paper's "extra
+// dependences", dashed in Fig 5.2c); this costs some parallelism but removes
+// all boundary tests.
+func (g *Graph) Linearize(extents []int64) *Graph {
+	if len(extents) != g.Depth {
+		panic(fmt.Sprintf("deps: Linearize with %d extents on depth-%d graph", len(extents), g.Depth))
+	}
+	strides := make([]int64, g.Depth)
+	s := int64(1)
+	for k := g.Depth - 1; k >= 0; k-- {
+		strides[k] = s
+		s *= extents[k]
+	}
+	out := &Graph{Stmts: g.Stmts, Depth: 1}
+	for _, a := range g.Arcs {
+		na := a
+		if a.Known {
+			var d int64
+			for k, v := range a.Dist {
+				d += v * strides[k]
+			}
+			switch {
+			case d > 0:
+				na.Dist = []int64{d}
+				na.LoopIndep = false
+			case d == 0 && a.LoopIndep:
+				na.Dist = []int64{0}
+			default:
+				continue // no realizable instance in the linear order
+			}
+		}
+		out.Arcs = append(out.Arcs, na)
+	}
+	sortArcs(out.Arcs)
+	return out
+}
+
+// Deduped returns the cross-iteration dependences with duplicate
+// (src, dst, distance) arcs merged but no covering elimination. This is the
+// correct enforcement set for bodies with conditional branches, where a
+// covering path through a skipped statement would not be executed.
+func (g *Graph) Deduped() []Arc {
+	if g.Depth != 1 {
+		panic("deps: Deduped requires a depth-1 graph; Linearize first")
+	}
+	seen := make(map[[3]int64]bool)
+	var arcs []Arc
+	for _, a := range g.CrossArcs() {
+		key := [3]int64{int64(a.Src), int64(a.Dst), a.scalarDist()}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		arcs = append(arcs, a)
+	}
+	return arcs
+}
+
+// Enforced returns the minimal set of cross-iteration dependences that must
+// be synchronized, for a depth-1 graph of a straight-line body (every
+// statement executes each iteration — a precondition of step 3's covering
+// paths; use Deduped for branching bodies):
+//
+//  1. loop-independent and unknown-distance arcs are excluded (the former
+//     need no synchronization; the latter cannot be enforced by
+//     constant-distance schemes and are reported by UnknownArcs);
+//  2. duplicate (src,dst,distance) arcs are merged;
+//  3. an arc is removed when it is covered by a path of remaining arcs and
+//     intra-iteration (body-order) edges whose distances sum to exactly the
+//     arc's distance — e.g. S1-(3)->S4 is covered by S1-(1)->S3-(2)->S4.
+//
+// Processing is in decreasing distance order so that a covering path's
+// components (each strictly shorter, or equal-distance but never mutually
+// covering) are still present when an arc is tested.
+func (g *Graph) Enforced() []Arc {
+	if g.Depth != 1 {
+		panic("deps: Enforced requires a depth-1 graph; Linearize first")
+	}
+	// sortArcs puts Flow first, so the representative of a merged group is
+	// the flow arc if there is one.
+	arcs := g.Deduped()
+	// Decreasing distance; deterministic tie-break.
+	order := make([]int, len(arcs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		a, b := arcs[order[x]], arcs[order[y]]
+		if a.scalarDist() != b.scalarDist() {
+			return a.scalarDist() > b.scalarDist()
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+	removed := make([]bool, len(arcs))
+	for _, i := range order {
+		if coveredBy(arcs, removed, i) {
+			removed[i] = true
+		}
+	}
+	var out []Arc
+	for i, a := range arcs {
+		if !removed[i] {
+			out = append(out, a)
+		}
+	}
+	sortArcs(out)
+	return out
+}
+
+// coveredBy reports whether arcs[self] is covered by an exact-sum path of
+// the non-removed arcs (excluding self) plus zero-distance body-order edges.
+type coverState struct {
+	node int
+	rem  int64
+}
+
+func coveredBy(arcs []Arc, removed []bool, self int) bool {
+	target := arcs[self]
+	d := target.scalarDist()
+	nStmts := stmtCount(arcs, target)
+	memo := make(map[coverState]bool)
+	budget := 1 << 20 // conservative cap: on exhaustion keep the arc
+	var search func(node int, rem int64, edges int) bool
+	search = func(node int, rem int64, edges int) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if node == target.Dst && rem == 0 && edges > 0 {
+			return true
+		}
+		st := coverState{node, rem}
+		if v, ok := memo[st]; ok {
+			return v
+		}
+		memo[st] = false // cycle guard; cycles cannot help at same state
+		found := false
+		for i, a := range arcs {
+			if i == self || removed[i] || a.Src != node || a.scalarDist() > rem {
+				continue
+			}
+			if search(a.Dst, rem-a.scalarDist(), edges+1) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Zero-distance body-order edges: node precedes any later
+			// statement of the same iteration. Only useful as a hop to a
+			// cross arc or to the target itself.
+			for next := node + 1; next < nStmts; next++ {
+				if search(next, rem, edges+1) {
+					found = true
+					break
+				}
+			}
+		}
+		memo[st] = found
+		return found
+	}
+	return search(target.Src, d, 0)
+}
+
+func stmtCount(arcs []Arc, target Arc) int {
+	max := target.Dst
+	if target.Src > max {
+		max = target.Src
+	}
+	for _, a := range arcs {
+		if a.Src > max {
+			max = a.Src
+		}
+		if a.Dst > max {
+			max = a.Dst
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,150 @@
+// Package exper implements the reproduction experiments E1..E12 indexed in
+// DESIGN.md: each regenerates the content of one of the paper's figures or
+// turns one of its comparative claims into a measurement on the simulated
+// machine, and returns typed tables that cmd/dsbench renders (and
+// EXPERIMENTS.md records).
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/csrd-repro/datasync/internal/sim"
+)
+
+// Table is one result table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-text footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**[%s] %s**\n\n", t.ID, t.Title)
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	b.WriteString("|")
+	for _, c := range t.Columns {
+		b.WriteString(" " + esc(c) + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString("|")
+		for _, cell := range row {
+			b.WriteString(" " + esc(cell) + " |")
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one runnable reproduction experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() ([]*Table, error)
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Fig 2.1: dependence graph and covering elimination", E1DependenceGraph},
+		{"E2", "Fig 3.1: data-oriented schemes — tickets, copies, storage", E2DataOriented},
+		{"E3", "Fig 3.2: statement-oriented serialization under a delayed iteration", E3StatementSerialization},
+		{"E4", "Fig 4.1/4.2: process-oriented scheme and cross-scheme comparison", E4SchemeComparison},
+		{"E5", "Fig 4.3/section 6: improved primitives and write coverage", E5ImprovedPrimitives},
+		{"E6", "Fig 5.1 (Example 1): wavefront vs asynchronous pipelining; grouping G", E6Relaxation},
+		{"E7", "Fig 5.2 (Example 2): coalesced nested loops and boundary handling", E7NestedLoop},
+		{"E8", "Fig 5.3 (Example 3): dependence sources in branches", E8Branches},
+		{"E9", "Fig 5.4 (Example 4): butterfly vs counter barrier (hot spot)", E9Barriers},
+		{"E10", "Example 5: FFT phases with pairwise sync vs global barriers", E10FFT},
+		{"E11", "Section 6: bus traffic, write coverage, non-atomic PC updates", E11Hardware},
+		{"E12", "Ablations: X, P and the statement/process crossover", E12Ablation},
+		{"E13", "Self-scheduling order: in-order, chunked, reversed (refs [23,24])", E13Scheduling},
+		{"E14", "Requirement (1): signaling only after write visibility (section 2.2)", E14DataLatency},
+	}
+}
+
+// baseCfg is the default simulated machine for the experiments: a small
+// bus-based multiprocessor in the Alliant FX/8 class.
+func baseCfg(p int) sim.Config {
+	return sim.Config{
+		Processors:    p,
+		BusLatency:    1,
+		BusCoverage:   false,
+		MemLatency:    2,
+		Modules:       p,
+		SyncOpCost:    1,
+		SchedOverhead: 1,
+	}
+}

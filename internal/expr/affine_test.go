@@ -1,0 +1,178 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstAndIndex(t *testing.T) {
+	c := Const(2, 7)
+	if got := c.Eval([]int64{3, 4}); got != 7 {
+		t.Errorf("Const eval = %d, want 7", got)
+	}
+	if !c.IsConst() {
+		t.Error("Const should be IsConst")
+	}
+	ix := Index(2, 1, -1) // J-1
+	if got := ix.Eval([]int64{10, 20}); got != 19 {
+		t.Errorf("Index eval = %d, want 19", got)
+	}
+	if ix.IsConst() {
+		t.Error("Index should not be IsConst")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled(1, 0, 2, -1) // 2*I-1
+	if got := s.Eval([]int64{5}); got != 9 {
+		t.Errorf("Scaled eval = %d, want 9", got)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := Index(2, 0, 3) // I+3
+	b := Index(2, 0, 1) // I+1
+	d := a.Sub(b)       // 2
+	if !d.IsConst() || d.Const != 2 {
+		t.Errorf("Sub = %v, want constant 2", d)
+	}
+	sum := a.Add(b) // 2*I+4
+	if got := sum.Eval([]int64{1, 0}); got != 6 {
+		t.Errorf("Add eval = %d, want 6", got)
+	}
+}
+
+func TestAddConst(t *testing.T) {
+	a := Index(1, 0, 0)
+	b := a.AddConst(5)
+	if got := b.Eval([]int64{2}); got != 7 {
+		t.Errorf("AddConst eval = %d, want 7", got)
+	}
+	// Original unchanged.
+	if got := a.Eval([]int64{2}); got != 2 {
+		t.Errorf("AddConst mutated receiver: eval = %d, want 2", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Index(2, 0, 3)
+	b := Index(2, 0, 3)
+	c := Index(2, 1, 3)
+	if !a.Equal(b) {
+		t.Error("identical expressions not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different variables reported Equal")
+	}
+	if a.Equal(Index(1, 0, 3)) {
+		t.Error("different arities reported Equal")
+	}
+}
+
+func TestSoleVar(t *testing.T) {
+	a := Scaled(3, 1, 4, 2)
+	k, coef, ok := a.SoleVar()
+	if !ok || k != 1 || coef != 4 {
+		t.Errorf("SoleVar = (%d,%d,%v), want (1,4,true)", k, coef, ok)
+	}
+	if _, _, ok := Const(3, 5).SoleVar(); ok {
+		t.Error("SoleVar of constant should be false")
+	}
+	two := Index(2, 0, 0).Add(Index(2, 1, 0))
+	if _, _, ok := two.SoleVar(); ok {
+		t.Error("SoleVar of two-variable expression should be false")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		a    Affine
+		want string
+	}{
+		{Index(1, 0, 3), "I+3"},
+		{Index(1, 0, -1), "I-1"},
+		{Index(1, 0, 0), "I"},
+		{Const(1, 4), "4"},
+		{Const(1, 0), "0"},
+		{Scaled(1, 0, 2, 0), "2*I"},
+		{Scaled(1, 0, -1, 5), "-I+5"},
+		{Scaled(2, 1, -3, -2), "-3*J-2"},
+		{Index(2, 0, 0).Add(Index(2, 1, 1)), "I+J+1"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.a, got, c.want)
+		}
+	}
+}
+
+func TestEvalPanicsOnArityMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval with wrong arity did not panic")
+		}
+	}()
+	Index(2, 0, 0).Eval([]int64{1})
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{12, 8, 4}, {8, 12, 4}, {-12, 8, 4}, {12, -8, 4},
+		{0, 5, 5}, {5, 0, 5}, {0, 0, 0}, {7, 13, 1}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: (a+b) - b == a pointwise at random evaluation points.
+func TestAddSubRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(c0a, c1a, ka, c0b, c1b, kb int8) bool {
+		a := Affine{Coef: []int64{int64(c0a), int64(c1a)}, Const: int64(ka)}
+		b := Affine{Coef: []int64{int64(c0b), int64(c1b)}, Const: int64(kb)}
+		r := a.Add(b).Sub(b)
+		if !r.Equal(a) {
+			return false
+		}
+		idx := []int64{rng.Int63n(100), rng.Int63n(100)}
+		return r.Eval(idx) == a.Eval(idx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Eval distributes over Add.
+func TestEvalLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(c0a, c1a, ka, c0b, c1b, kb int8) bool {
+		a := Affine{Coef: []int64{int64(c0a), int64(c1a)}, Const: int64(ka)}
+		b := Affine{Coef: []int64{int64(c0b), int64(c1b)}, Const: int64(kb)}
+		idx := []int64{rng.Int63n(50) - 25, rng.Int63n(50) - 25}
+		return a.Add(b).Eval(idx) == a.Eval(idx)+b.Eval(idx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GCD divides both arguments and any common divisor divides it.
+func TestGCDProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		g := GCD(int64(a), int64(b))
+		if a == 0 && b == 0 {
+			return g == 0
+		}
+		if g <= 0 {
+			return false
+		}
+		return int64(a)%g == 0 && int64(b)%g == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

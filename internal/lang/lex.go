@@ -1,0 +1,116 @@
+// Package lang implements a small textual language for the Fortran-style
+// DO loops the paper analyzes, so loops can be fed to the dependence
+// analyzer and the synchronization code generators without writing Go:
+//
+//	DO I = 1, 100
+//	  S1: A[I+3] = I*10 + 3
+//	  S2: t2 = A[I+1]
+//	  S3: t3 = A[I+2]
+//	  S4: A[I] = t2 + t3
+//	  S5: OUT[I] = A[I-1]
+//	END DO
+//
+// Nested loops stack DO headers; conditionals use IF ODD(I) THEN ... ELSE
+// ... END IF (also EVEN(I) and comparisons like I < 10). A statement cost
+// in simulator cycles may be given with a trailing @N. Parsed programs
+// carry executable semantics: Parse returns a codegen.Workload whose
+// statements evaluate their right-hand sides over int64 model arrays.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent
+	tokNumber
+	tokPunct // single-rune punctuation or operator
+	tokCompare
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "end of line"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex splits the input into tokens. Comments run from '#' to end of line.
+// Newlines are significant (they terminate statements).
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	emit := func(k tokKind, text string, num int64) {
+		toks = append(toks, token{kind: k, text: text, num: num, line: line})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			emit(tokNewline, "\\n", 0)
+			line++
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			var n int64
+			for _, d := range src[i:j] {
+				n = n*10 + int64(d-'0')
+			}
+			emit(tokNumber, src[i:j], n)
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			emit(tokIdent, src[i:j], 0)
+			i = j
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			j := i + 1
+			if j < len(src) && src[j] == '=' {
+				j++
+			}
+			op := src[i:j]
+			if op == "=" {
+				emit(tokPunct, "=", 0)
+			} else {
+				emit(tokCompare, op, 0)
+			}
+			i = j
+		case strings.ContainsRune("[](),:+-*@", rune(c)):
+			emit(tokPunct, string(c), 0)
+			i++
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+		}
+	}
+	emit(tokEOF, "", 0)
+	return toks, nil
+}

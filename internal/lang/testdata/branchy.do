@@ -1,0 +1,10 @@
+# Example 3: dependence sources inside branches.
+DO I = 1, 50
+  S1: A[I+1] = I*3
+  IF ODD(I) THEN
+    S2: B[I+2] = A[I] + 1000
+  ELSE
+    S3: B[I+2] = A[I] - 5
+  END IF
+  S4: C[I] = B[I]
+END DO

@@ -1,0 +1,8 @@
+# The canonical loop of Fig 2.1 (Su & Yew, ISCA 1989).
+DO I = 1, 60
+  S1: A[I+3] = I*10 + 3  @2
+  S2: t2 = A[I+1]
+  S3: t3 = A[I+2]
+  S4: A[I] = t2 + t3     @2
+  S5: OUT[I] = A[I-1]
+END DO

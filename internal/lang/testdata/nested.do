@@ -1,0 +1,8 @@
+# Example 2: multiply-nested Doacross, coalesced to lpid distances 1 and M+1.
+DO I = 1, 10
+DO J = 1, 8
+  S1: A[I,J] = I*100 + J     @3
+  S2: B[I,J] = A[I,J-1] + 1  @2
+  S3: C[I,J] = B[I-1,J-1]*2  @2
+END DO
+END DO

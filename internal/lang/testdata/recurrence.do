@@ -1,0 +1,4 @@
+# Third-order recurrence: three independent chains pipeline.
+DO I = 1, 80
+  S1: A[I] = A[I-3] + 2*I - 1  @4
+END DO

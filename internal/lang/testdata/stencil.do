@@ -1,0 +1,6 @@
+# Example 1's four-point relaxation as a 2-deep nest.
+DO I = 2, 12
+DO J = 2, 12
+  S1: A[I,J] = A[I-1,J] + A[I,J-1]  @3
+END DO
+END DO

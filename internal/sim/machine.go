@@ -1,0 +1,711 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Processors is the number of processors P (required, >= 1).
+	Processors int
+	// BusLatency is the cycles one synchronization-bus broadcast occupies
+	// the bus. 0 means writes commit (become globally visible) at issue.
+	BusLatency int64
+	// BusCoverage enables the paper's section-6 optimization: an issued
+	// write is dropped if a later write to the same variable from the same
+	// processor arrives before the former gains bus access.
+	BusCoverage bool
+	// MemLatency is the service time of one memory-module request
+	// (defaults to 1).
+	MemLatency int64
+	// Modules is the number of single-ported memory modules (defaults to 1).
+	Modules int
+	// SyncOpCost is the local issue cost of a synchronization operation
+	// (a write issue, or a satisfied wait check). Taken literally; 0 is free.
+	SyncOpCost int64
+	// SchedOverhead is the dispatch cost per iteration under
+	// self-scheduling (grabbing the next index from the work queue).
+	SchedOverhead int64
+	// DataLatency is the time for a statement's array writes to become
+	// visible in shared memory. The paper's correctness requirement (1)
+	// (section 2.2) demands that a dependence source signal completion only
+	// after this point; code generators insert a commit phase of this
+	// length between a writing statement and its publication.
+	DataLatency int64
+	// MaxCycles aborts the simulation if exceeded, catching livelock
+	// (defaults to 100,000,000).
+	MaxCycles int64
+	// Dispatch selects the self-scheduling order (RunLoop only). The
+	// folded process-counter protocol is deadlock-free only when
+	// iterations are dispatched in non-decreasing order (DispatchInOrder,
+	// DispatchChunked); DispatchReversed exists to demonstrate the
+	// scheduling-order hazard the paper's reference [23] studies.
+	Dispatch Dispatch
+	// ChunkSize is the iterations per dispatch under DispatchChunked
+	// (defaults to 4). The scheduling overhead is paid once per chunk.
+	ChunkSize int64
+}
+
+// Dispatch is a self-scheduling policy.
+type Dispatch int
+
+// Dispatch policies.
+const (
+	// DispatchInOrder hands out iterations 1, 2, 3, ... one at a time.
+	DispatchInOrder Dispatch = iota
+	// DispatchChunked hands out consecutive chunks of ChunkSize
+	// iterations, each executed in order.
+	DispatchChunked
+	// DispatchReversed hands out iterations from the last down — an
+	// unsafe order that deadlocks dependent loops when P processors all
+	// hold late iterations whose sources were never dispatched.
+	DispatchReversed
+)
+
+func (d Dispatch) String() string {
+	switch d {
+	case DispatchInOrder:
+		return "in-order"
+	case DispatchChunked:
+		return "chunked"
+	case DispatchReversed:
+		return "reversed"
+	}
+	return fmt.Sprintf("Dispatch(%d)", int(d))
+}
+
+func (c Config) normalized() Config {
+	if c.Processors < 1 {
+		panic("sim: Config.Processors must be >= 1")
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = 1
+	}
+	if c.Modules == 0 {
+		c.Modules = 1
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 100_000_000
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 4
+	}
+	return c
+}
+
+// pending is an issued-but-uncommitted register write.
+type pending struct {
+	proc int
+	val  int64
+}
+
+type syncVar struct {
+	name      string
+	res       Residence
+	module    int
+	committed int64
+	pend      []*pending // register writes in flight (bus queue + active)
+	waiters   []*blockedWait
+}
+
+// visibleTo returns the value processor p observes: the committed value,
+// merged with p's own in-flight writes (a processor always sees its own
+// writes in its local register image).
+func (v *syncVar) visibleTo(p int) int64 {
+	val := v.committed
+	for _, pe := range v.pend {
+		if pe.proc == p && pe.val > val {
+			val = pe.val
+		}
+	}
+	return val
+}
+
+type blockedWait struct {
+	p   *proc
+	min int64
+	tag string
+}
+
+type module struct {
+	busyUntil int64
+	jobs      int
+	accesses  int64
+	queueWait int64
+	maxQueue  int
+}
+
+// enqueue admits one request at time now and returns its service interval.
+func (mo *module) enqueue(now, latency int64) (start, end int64) {
+	start = now
+	if mo.busyUntil > start {
+		start = mo.busyUntil
+	}
+	end = start + latency
+	mo.busyUntil = end
+	mo.accesses++
+	mo.queueWait += start - now
+	mo.jobs++
+	if mo.jobs > mo.maxQueue {
+		mo.maxQueue = mo.jobs
+	}
+	return start, end
+}
+
+type busEntry struct {
+	v    *syncVar
+	pe   *pending
+	tag  string
+	seen bool // started broadcasting (no longer coverable)
+}
+
+type procState int
+
+const (
+	stateRunning procState = iota
+	stateBlocked
+	stateDone
+)
+
+type proc struct {
+	id           int
+	ops          []Op
+	ip           int
+	iter         int64
+	state        procState
+	blockedSince int64
+	finishedAt   int64
+	busy         int64
+	waitSync     int64
+	waitMem      int64
+	iterations   int64
+
+	// chunked dispatch: remaining iterations of the held chunk
+	chunkNext, chunkEnd int64
+}
+
+type event struct {
+	t, seq int64
+	fn     func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+// Machine is one simulation instance. Declare synchronization variables,
+// then call RunLoop or RunProcesses exactly once.
+type Machine struct {
+	cfg  Config
+	mem  *Mem
+	vars []*syncVar
+	mods []*module
+
+	busQueue  []*busEntry
+	busActive bool
+
+	events eventHeap
+	now    int64
+	seq    int64
+
+	procs     []*proc
+	program   Program
+	nextIter  int64
+	lastIter  int64
+	selfSched bool
+	ran       bool
+	err       error
+
+	busIssued int64
+	busSaved  int64
+	syncOps   int64
+	polls     int64
+
+	tracing     bool
+	traceEvents []TraceEvent
+}
+
+// New builds a machine with the given configuration.
+func New(cfg Config) *Machine {
+	return &Machine{cfg: cfg.normalized(), mem: NewMem()}
+}
+
+// Config returns the (normalized) machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Mem returns the machine's data memory, for building workload programs.
+func (m *Machine) Mem() *Mem { return m.mem }
+
+// NewRegVar declares a synchronization-register variable (broadcast on the
+// sync bus) with the given initial value.
+func (m *Machine) NewRegVar(name string, init int64) VarID {
+	m.vars = append(m.vars, &syncVar{name: name, res: Register, committed: init})
+	return VarID(len(m.vars) - 1)
+}
+
+// NewMemVar declares a memory-resident synchronization variable in the
+// given module.
+func (m *Machine) NewMemVar(name string, mod int, init int64) VarID {
+	if mod < 0 || mod >= m.cfg.Modules {
+		panic(fmt.Sprintf("sim: module %d out of range [0,%d)", mod, m.cfg.Modules))
+	}
+	m.vars = append(m.vars, &syncVar{name: name, res: Memory, module: mod, committed: init})
+	return VarID(len(m.vars) - 1)
+}
+
+// VarValue returns a variable's committed value (for post-run assertions).
+func (m *Machine) VarValue(v VarID) int64 { return m.vars[v].committed }
+
+func (m *Machine) at(t int64, fn func()) {
+	heap.Push(&m.events, event{t: t, seq: m.seq, fn: fn})
+	m.seq++
+}
+
+// RunLoop executes iterations 1..iters of the program on the machine's
+// processors under in-order self-scheduling and returns the run statistics.
+func (m *Machine) RunLoop(iters int64, prog Program) (Stats, error) {
+	m.startRun()
+	m.selfSched = true
+	m.program = prog
+	m.nextIter, m.lastIter = 1, iters
+	if m.cfg.Dispatch == DispatchReversed {
+		m.nextIter = iters
+	}
+	for _, p := range m.procs {
+		p := p
+		m.at(0, func() { m.dispatch(p) })
+	}
+	return m.drain()
+}
+
+// RunProcesses executes exactly one fixed program per processor (no
+// scheduling), as in the barrier and FFT experiments where process == processor.
+func (m *Machine) RunProcesses(progs [][]Op) (Stats, error) {
+	if len(progs) != m.cfg.Processors {
+		return Stats{}, fmt.Errorf("sim: %d programs for %d processors", len(progs), m.cfg.Processors)
+	}
+	m.startRun()
+	for i, p := range m.procs {
+		p := p
+		p.ops = progs[i]
+		p.iterations = 1
+		m.at(0, func() { m.step(p) })
+	}
+	return m.drain()
+}
+
+func (m *Machine) startRun() {
+	if m.ran {
+		panic("sim: Machine can run only once")
+	}
+	m.ran = true
+	m.procs = make([]*proc, m.cfg.Processors)
+	m.mods = make([]*module, m.cfg.Modules)
+	for i := range m.mods {
+		m.mods[i] = &module{}
+	}
+	for i := range m.procs {
+		// chunkNext > chunkEnd marks "no chunk held".
+		m.procs[i] = &proc{id: i, state: stateRunning, chunkNext: 1, chunkEnd: 0}
+	}
+}
+
+func (m *Machine) drain() (Stats, error) {
+	for len(m.events) > 0 && m.err == nil {
+		e := heap.Pop(&m.events).(event)
+		if e.t > m.cfg.MaxCycles {
+			m.err = fmt.Errorf("sim: exceeded MaxCycles=%d (livelock?)", m.cfg.MaxCycles)
+			break
+		}
+		m.now = e.t
+		e.fn()
+	}
+	if m.err == nil {
+		if blocked := m.blockedReport(); blocked != "" {
+			m.err = fmt.Errorf("sim: deadlock at cycle %d:\n%s", m.now, blocked)
+		}
+	}
+	return m.collectStats(), m.err
+}
+
+func (m *Machine) blockedReport() string {
+	var b strings.Builder
+	for _, p := range m.procs {
+		if p.state == stateBlocked {
+			op := "?"
+			if p.ip < len(p.ops) {
+				op = m.describeOp(p.ops[p.ip])
+			}
+			fmt.Fprintf(&b, "  proc %d iter %d blocked since %d on %s\n", p.id, p.iter, p.blockedSince, op)
+		}
+	}
+	return b.String()
+}
+
+func (m *Machine) describeOp(op Op) string {
+	s := op.String()
+	if int(op.Var) < len(m.vars) && (op.Kind == OpWait || op.Kind == OpWrite || op.Kind == OpRMW) {
+		s += fmt.Sprintf(" [%s=%d]", m.vars[op.Var].name, m.vars[op.Var].committed)
+	}
+	return s
+}
+
+// dispatch hands the next loop iteration to an idle processor according to
+// the configured self-scheduling policy.
+func (m *Machine) dispatch(p *proc) {
+	var it int64
+	overhead := int64(0)
+	switch m.cfg.Dispatch {
+	case DispatchChunked:
+		if p.chunkNext > p.chunkEnd {
+			if m.nextIter > m.lastIter {
+				p.state = stateDone
+				p.finishedAt = m.now
+				return
+			}
+			lo := m.nextIter
+			hi := lo + m.cfg.ChunkSize - 1
+			if hi > m.lastIter {
+				hi = m.lastIter
+			}
+			m.nextIter = hi + 1
+			p.chunkNext, p.chunkEnd = lo, hi
+			overhead = m.cfg.SchedOverhead // paid once per chunk
+		}
+		it = p.chunkNext
+		p.chunkNext++
+	case DispatchReversed:
+		if m.nextIter < 1 {
+			p.state = stateDone
+			p.finishedAt = m.now
+			return
+		}
+		it = m.nextIter
+		m.nextIter--
+		overhead = m.cfg.SchedOverhead
+	default:
+		if m.nextIter > m.lastIter {
+			p.state = stateDone
+			p.finishedAt = m.now
+			return
+		}
+		it = m.nextIter
+		m.nextIter++
+		overhead = m.cfg.SchedOverhead
+	}
+	p.iter = it
+	p.iterations++
+	p.ops = m.program(it)
+	p.ip = 0
+	if overhead > 0 {
+		p.busy += overhead
+		m.at(m.now+overhead, func() { m.step(p) })
+		return
+	}
+	m.step(p)
+}
+
+// step advances a processor from the current time until it blocks,
+// schedules a future event, or finishes.
+func (m *Machine) step(p *proc) {
+	p.state = stateRunning
+	for {
+		if p.ip >= len(p.ops) {
+			if m.selfSched {
+				m.dispatch(p)
+				return
+			}
+			p.state = stateDone
+			p.finishedAt = m.now
+			return
+		}
+		op := &p.ops[p.ip]
+		switch op.Kind {
+		case OpCompute:
+			p.ip++
+			p.busy += op.Cycles
+			if op.Cycles == 0 {
+				if op.Exec != nil {
+					op.Exec()
+				}
+				continue
+			}
+			exec := op.Exec
+			m.addTrace(p, m.now, m.now+op.Cycles, TraceCompute, op.Tag)
+			m.at(m.now+op.Cycles, func() {
+				if exec != nil {
+					exec()
+				}
+				m.step(p)
+			})
+			return
+
+		case OpWrite:
+			v := m.vars[op.Var]
+			m.syncOps++
+			if v.res == Register {
+				m.busIssue(v, op.Value, p.id, op.Tag)
+				if op.Exec != nil {
+					op.Exec()
+				}
+				p.ip++
+				p.busy += m.cfg.SyncOpCost
+				if m.cfg.SyncOpCost > 0 {
+					m.at(m.now+m.cfg.SyncOpCost, func() { m.step(p) })
+					return
+				}
+				continue
+			}
+			// Memory write: blocks through the module queue.
+			val, exec := op.Value, op.Exec
+			start, end := m.mods[v.module].enqueue(m.now, m.cfg.MemLatency)
+			_ = start
+			m.addTrace(p, m.now, end, TraceService, op.Tag)
+			p.waitMem += end - m.now
+			p.ip++
+			p.state = stateBlocked
+			p.blockedSince = m.now
+			mod := m.mods[v.module]
+			m.at(end, func() {
+				mod.jobs--
+				if val > v.committed {
+					v.committed = val
+				}
+				m.wake(v)
+				if exec != nil {
+					exec()
+				}
+				m.step(p)
+			})
+			return
+
+		case OpWait:
+			v := m.vars[op.Var]
+			m.syncOps++
+			if v.visibleTo(p.id) >= op.Value {
+				if op.Exec != nil {
+					op.Exec()
+				}
+				p.ip++
+				p.busy += m.cfg.SyncOpCost
+				if m.cfg.SyncOpCost > 0 {
+					m.at(m.now+m.cfg.SyncOpCost, func() { m.step(p) })
+					return
+				}
+				continue
+			}
+			p.state = stateBlocked
+			p.blockedSince = m.now
+			if v.res == Register {
+				// Spin on the local register image: woken by commit.
+				v.waiters = append(v.waiters, &blockedWait{p: p, min: op.Value, tag: op.Tag})
+				return
+			}
+			// Poll through the memory module: each probe is a module access.
+			m.poll(p, v, op)
+			return
+
+		case OpWriteIf:
+			v := m.vars[op.Var]
+			m.syncOps++
+			if v.res != Register {
+				panic(fmt.Sprintf("sim: conditional write on memory variable %s", v.name))
+			}
+			if op.Cond(v.visibleTo(p.id)) {
+				m.busIssue(v, op.Value, p.id, op.Tag)
+			}
+			if op.Exec != nil {
+				op.Exec()
+			}
+			p.ip++
+			p.busy += m.cfg.SyncOpCost
+			if m.cfg.SyncOpCost > 0 {
+				m.at(m.now+m.cfg.SyncOpCost, func() { m.step(p) })
+				return
+			}
+			continue
+
+		case OpRMW:
+			v := m.vars[op.Var]
+			m.syncOps++
+			if v.res != Memory {
+				panic(fmt.Sprintf("sim: RMW on register variable %s", v.name))
+			}
+			apply, exec := op.Apply, op.Exec
+			_, end := m.mods[v.module].enqueue(m.now, m.cfg.MemLatency)
+			m.addTrace(p, m.now, end, TraceService, op.Tag)
+			p.waitMem += end - m.now
+			p.ip++
+			p.state = stateBlocked
+			p.blockedSince = m.now
+			mod := m.mods[v.module]
+			m.at(end, func() {
+				mod.jobs--
+				v.committed = apply(v.committed)
+				m.wake(v)
+				if exec != nil {
+					exec()
+				}
+				m.step(p)
+			})
+			return
+
+		default:
+			panic(fmt.Sprintf("sim: unknown op kind %d", op.Kind))
+		}
+	}
+}
+
+// poll issues one busy-wait probe of a memory variable through its module.
+func (m *Machine) poll(p *proc, v *syncVar, op *Op) {
+	m.polls++
+	mod := m.mods[v.module]
+	_, end := mod.enqueue(m.now, m.cfg.MemLatency)
+	min, exec := op.Value, op.Exec
+	tag := op.Tag
+	m.at(end, func() {
+		mod.jobs--
+		if v.committed >= min {
+			p.waitSync += m.now - p.blockedSince
+			m.addTrace(p, p.blockedSince, m.now, TraceWait, tag)
+			if exec != nil {
+				exec()
+			}
+			p.ip++
+			m.step(p)
+			return
+		}
+		m.poll(p, v, op)
+	})
+}
+
+// wake resumes register waiters whose condition a commit has satisfied.
+func (m *Machine) wake(v *syncVar) {
+	if len(v.waiters) == 0 {
+		return
+	}
+	var still []*blockedWait
+	for _, w := range v.waiters {
+		if v.committed >= w.min {
+			w := w
+			w.p.waitSync += m.now - w.p.blockedSince
+			m.addTrace(w.p, w.p.blockedSince, m.now, TraceWait, w.tag)
+			w.p.ip++
+			m.at(m.now, func() { m.step(w.p) })
+		} else {
+			still = append(still, w)
+		}
+	}
+	v.waiters = still
+}
+
+// busIssue posts a register write on the synchronization bus.
+func (m *Machine) busIssue(v *syncVar, val int64, procID int, tag string) {
+	m.busIssued++
+	if m.cfg.BusCoverage {
+		// A queued-but-unstarted broadcast of the same variable from the
+		// same processor is covered by this newer write.
+		for _, e := range m.busQueue {
+			if !e.seen && e.v == v && e.pe.proc == procID {
+				e.pe.val = val
+				e.tag = tag
+				m.busSaved++
+				return
+			}
+		}
+	}
+	pe := &pending{proc: procID, val: val}
+	v.pend = append(v.pend, pe)
+	if m.cfg.BusLatency == 0 {
+		m.commit(&busEntry{v: v, pe: pe, tag: tag})
+		return
+	}
+	m.busQueue = append(m.busQueue, &busEntry{v: v, pe: pe, tag: tag})
+	if !m.busActive {
+		m.busStart()
+	}
+}
+
+func (m *Machine) busStart() {
+	e := m.busQueue[0]
+	m.busQueue = m.busQueue[1:]
+	e.seen = true
+	m.busActive = true
+	m.at(m.now+m.cfg.BusLatency, func() {
+		m.commit(e)
+		m.busActive = false
+		if len(m.busQueue) > 0 {
+			m.busStart()
+		}
+	})
+}
+
+// commit makes a register write globally visible and wakes waiters.
+func (m *Machine) commit(e *busEntry) {
+	v := e.v
+	if e.pe.val > v.committed {
+		v.committed = e.pe.val
+	}
+	for i, pe := range v.pend {
+		if pe == e.pe {
+			v.pend = append(v.pend[:i], v.pend[i+1:]...)
+			break
+		}
+	}
+	m.wake(v)
+}
+
+func (m *Machine) collectStats() Stats {
+	s := Stats{Cycles: m.now, SyncOps: m.syncOps, Polls: m.polls,
+		BusBroadcasts: m.busIssued - m.busSaved, BusSaved: m.busSaved}
+	s.Procs = make([]ProcStats, len(m.procs))
+	for i, p := range m.procs {
+		idle := int64(0)
+		if p.state == stateDone {
+			idle = m.now - p.finishedAt
+		}
+		s.Procs[i] = ProcStats{Busy: p.busy, WaitSync: p.waitSync, WaitMem: p.waitMem, Idle: idle}
+		s.Iterations += p.iterations
+	}
+	for _, mo := range m.mods {
+		s.ModuleAccesses += mo.accesses
+		s.ModuleQueueWait += mo.queueWait
+		if mo.maxQueue > s.MaxModuleQueue {
+			s.MaxModuleQueue = mo.maxQueue
+		}
+	}
+	return s
+}
+
+// ExecSerial executes the program's compute semantics serially in iteration
+// order (sync ops skipped) and returns total compute cycles — the serial
+// baseline and the oracle for serial equivalence. By convention, workload
+// semantics live only on OpCompute ops.
+func ExecSerial(iters int64, prog Program) int64 {
+	var total int64
+	for i := int64(1); i <= iters; i++ {
+		for _, op := range prog(i) {
+			if op.Kind == OpCompute {
+				total += op.Cycles
+				if op.Exec != nil {
+					op.Exec()
+				}
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,115 @@
+package sim
+
+import "fmt"
+
+// VarID identifies a synchronization variable declared on a Machine.
+type VarID int
+
+// Residence says where a synchronization variable lives.
+type Residence int
+
+// Residences.
+const (
+	// Register variables live in per-processor synchronization-register
+	// images kept coherent by the broadcast synchronization bus (process
+	// counters, statement counters). A write is locally visible to its
+	// writer at once and to other processors when its broadcast commits.
+	// Busy-waits on registers spin on the local image: no traffic.
+	Register Residence = iota
+	// Memory variables live in a memory module (data-oriented keys,
+	// barrier counters, full/empty bits). All operations, including every
+	// poll of a busy-wait, pass through the module's FIFO service queue.
+	Memory
+)
+
+// OpKind enumerates process operations.
+type OpKind int
+
+// Op kinds.
+const (
+	// OpCompute models useful work: Cycles of computation, with the
+	// statement semantics (Exec) applied at completion.
+	OpCompute OpKind = iota
+	// OpWrite sets a synchronization variable to Value. Sync values are
+	// monotonically non-decreasing by construction in every scheme here
+	// (the paper relies on the same property in section 6). Writes are
+	// posted: the processor continues after the local issue cost.
+	OpWrite
+	// OpWait blocks until the variable's visible value is >= Value.
+	OpWait
+	// OpRMW atomically applies Apply to a Memory variable (fetch&add class;
+	// used by the counter barrier). The processor blocks until served.
+	OpRMW
+	// OpWriteIf writes Value to a Register variable only when Cond holds
+	// for the locally visible value; otherwise it is a no-op (no bus
+	// traffic). This models the improved mark_PC of Fig 4.3, which skips
+	// the update when the process does not yet own its PC.
+	OpWriteIf
+)
+
+// Op is one step of a process program.
+type Op struct {
+	Kind   OpKind
+	Cycles int64             // OpCompute duration
+	Var    VarID             // sync-op target
+	Value  int64             // OpWrite value / OpWait threshold
+	Apply  func(int64) int64 // OpRMW update function
+	Cond   func(int64) bool  // OpWriteIf guard over the visible value
+	Exec   func()            // semantics, run at completion (any kind)
+	Tag    string            // for traces and error messages
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpCompute:
+		return fmt.Sprintf("compute(%d)%s", o.Cycles, tag(o.Tag))
+	case OpWrite:
+		return fmt.Sprintf("write(v%d=%d)%s", o.Var, o.Value, tag(o.Tag))
+	case OpWait:
+		return fmt.Sprintf("wait(v%d>=%d)%s", o.Var, o.Value, tag(o.Tag))
+	case OpRMW:
+		return fmt.Sprintf("rmw(v%d)%s", o.Var, tag(o.Tag))
+	case OpWriteIf:
+		return fmt.Sprintf("writeif(v%d=%d)%s", o.Var, o.Value, tag(o.Tag))
+	}
+	return fmt.Sprintf("op(%d)", int(o.Kind))
+}
+
+func tag(t string) string {
+	if t == "" {
+		return ""
+	}
+	return " " + t
+}
+
+// Compute returns a compute op.
+func Compute(cycles int64, exec func(), tag string) Op {
+	return Op{Kind: OpCompute, Cycles: cycles, Exec: exec, Tag: tag}
+}
+
+// WriteVar returns a posted synchronization write.
+func WriteVar(v VarID, value int64, tag string) Op {
+	return Op{Kind: OpWrite, Var: v, Value: value, Tag: tag}
+}
+
+// WaitGE returns a busy-wait until the variable reaches value.
+func WaitGE(v VarID, value int64, tag string) Op {
+	return Op{Kind: OpWait, Var: v, Value: value, Tag: tag}
+}
+
+// RMW returns an atomic read-modify-write on a memory variable.
+func RMW(v VarID, apply func(int64) int64, tag string) Op {
+	return Op{Kind: OpRMW, Var: v, Apply: apply, Tag: tag}
+}
+
+// WriteVarIf returns a conditional register write: value is posted only when
+// cond holds for the locally visible value at issue time.
+func WriteVarIf(v VarID, value int64, cond func(int64) bool, tag string) Op {
+	return Op{Kind: OpWriteIf, Var: v, Value: value, Cond: cond, Tag: tag}
+}
+
+// Program yields the op sequence of one process (iteration). Iterations are
+// numbered as 1-based lpids. Programs are materialized at dispatch time;
+// branch outcomes may depend on the iteration number but not on runtime
+// data (data-independent control flow, as in the paper's Example 3).
+type Program func(iter int64) []Op

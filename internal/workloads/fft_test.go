@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/csrd-repro/datasync/internal/barrier"
+	"github.com/csrd-repro/datasync/internal/sim"
+)
+
+func TestFFTPairwiseMatchesSerial(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		f := FFT{P: p, Chunk: 4, Cost: 3}
+		m := sim.New(sim.Config{Processors: p, BusLatency: 1, SyncOpCost: 1, Modules: p})
+		progs := f.Pairwise(m)
+		if _, err := m.RunProcesses(progs); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		want, _ := f.SerialMem()
+		if diff := want.Diff(m.Mem()); diff != "" {
+			t.Fatalf("P=%d pairwise FFT diverged:\n%s", p, diff)
+		}
+	}
+}
+
+func TestFFTWithBarrierMatchesSerial(t *testing.T) {
+	f := FFT{P: 8, Chunk: 4, Cost: 3}
+	m := sim.New(sim.Config{Processors: 8, BusLatency: 1, MemLatency: 2, SyncOpCost: 1, Modules: 1})
+	b := barrier.NewSimCounter(m, 0)
+	progs := f.WithBarrier(m, func(pid int, round int64) []sim.Op { return b.Ops(round) })
+	if _, err := m.RunProcesses(progs); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := f.SerialMem()
+	if diff := want.Diff(m.Mem()); diff != "" {
+		t.Fatalf("barrier FFT diverged:\n%s", diff)
+	}
+}
+
+// TestFFTPairwiseBeatsBarrier is Example 5's claim: with skew-prone global
+// barriers replaced by neighbor-only waits, total cycles drop.
+func TestFFTPairwiseBeatsBarrier(t *testing.T) {
+	f := FFT{P: 8, Chunk: 8, Cost: 5}
+	cfg := sim.Config{Processors: 8, BusLatency: 1, MemLatency: 2, SyncOpCost: 1, Modules: 1}
+
+	mPair := sim.New(cfg)
+	pairStats, err := mPair.RunProcesses(f.Pairwise(mPair))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBar := sim.New(cfg)
+	b := barrier.NewSimCounter(mBar, 0)
+	barStats, err := mBar.RunProcesses(f.WithBarrier(mBar, func(pid int, round int64) []sim.Op { return b.Ops(round) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairStats.Cycles >= barStats.Cycles {
+		t.Errorf("pairwise (%d cycles) not faster than barrier (%d cycles)",
+			pairStats.Cycles, barStats.Cycles)
+	}
+	// Pairwise sync needs no memory-module traffic at all (registers only).
+	if pairStats.ModuleAccesses != 0 {
+		t.Errorf("pairwise FFT produced %d module accesses", pairStats.ModuleAccesses)
+	}
+}
+
+func TestFFTStages(t *testing.T) {
+	if (FFT{P: 8}).Stages() != 3 {
+		t.Error("Stages(8) != 3")
+	}
+	_, cycles := (FFT{P: 4, Chunk: 2, Cost: 7}).SerialMem()
+	if cycles != 2*8*7 {
+		t.Errorf("serial cycles = %d, want 112", cycles)
+	}
+}

@@ -1,0 +1,61 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/csrd-repro/datasync/internal/barrier"
+	"github.com/csrd-repro/datasync/internal/sim"
+)
+
+func TestJacobiNeighborSyncMatchesSerial(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 8} {
+		j := Jacobi{P: p, Strip: 6, Sweeps: 7, Cost: 3}
+		m := sim.New(sim.Config{Processors: p, BusLatency: 1, SyncOpCost: 1, Modules: p})
+		if _, err := m.RunProcesses(j.NeighborSync(m)); err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		want, _ := j.SerialMem()
+		if diff := want.Diff(m.Mem()); diff != "" {
+			t.Fatalf("P=%d neighbor-sync Jacobi diverged:\n%s", p, diff)
+		}
+	}
+}
+
+func TestJacobiWithBarrierMatchesSerial(t *testing.T) {
+	j := Jacobi{P: 6, Strip: 5, Sweeps: 5, Cost: 3}
+	m := sim.New(sim.Config{Processors: 6, BusLatency: 1, MemLatency: 2, SyncOpCost: 1, Modules: 1})
+	b := barrier.NewSimCounter(m, 0)
+	progs := j.WithBarrier(m, func(pid int, round int64) []sim.Op { return b.Ops(round) })
+	if _, err := m.RunProcesses(progs); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := j.SerialMem()
+	if diff := want.Diff(m.Mem()); diff != "" {
+		t.Fatalf("barrier Jacobi diverged:\n%s", diff)
+	}
+}
+
+// TestJacobiNeighborBeatsBarrier: local sync avoids the global wait chain —
+// with skewed strips the barrier pays the slowest processor every sweep.
+func TestJacobiNeighborBeatsBarrier(t *testing.T) {
+	j := Jacobi{P: 8, Strip: 8, Sweeps: 8, Cost: 4}
+	cfg := sim.Config{Processors: 8, BusLatency: 1, MemLatency: 2, SyncOpCost: 1, Modules: 1}
+
+	mN := sim.New(cfg)
+	nStats, err := mN.RunProcesses(j.NeighborSync(mN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB := sim.New(cfg)
+	b := barrier.NewSimCounter(mB, 0)
+	bStats, err := mB.RunProcesses(j.WithBarrier(mB, func(pid int, round int64) []sim.Op { return b.Ops(round) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nStats.Cycles >= bStats.Cycles {
+		t.Errorf("neighbor sync (%d cycles) not faster than barrier (%d)", nStats.Cycles, bStats.Cycles)
+	}
+	if nStats.ModuleAccesses != 0 {
+		t.Errorf("neighbor sync used %d module accesses", nStats.ModuleAccesses)
+	}
+}
