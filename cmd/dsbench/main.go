@@ -5,6 +5,13 @@
 //	dsbench            # all experiments
 //	dsbench -run E6    # just the Example 1 relaxation study
 //	dsbench -list      # list experiment ids and titles
+//	dsbench -runtime   # goroutine-runtime waiter metrics (RunStats)
+//
+// -runtime executes the Fig 2.1 Doacross on the real concurrent runtime —
+// packed and split-field counter sets — with the metrics layer enabled and
+// prints each run's RunStats: per-slot spin iterations, ownership
+// hand-offs, and the wait-pause histogram. -rtn/-rtx/-rtprocs/-rtchunk
+// tune the run.
 package main
 
 import (
@@ -12,15 +19,75 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"github.com/csrd-repro/datasync/internal/core"
 	"github.com/csrd-repro/datasync/internal/exper"
 )
+
+// runtimeReport runs the Fig 2.1 loop body on the concurrent runtime with
+// metrics enabled and prints the RunStats for both counter-set
+// representations, verifying the dataflow against serial execution.
+func runtimeReport(n int64, x, procs, chunk int) error {
+	variants := []struct {
+		name string
+		mk   func(x int, o core.Options) core.CounterSet
+	}{
+		{"packed PCSet (padded, tiered backoff)", nil},
+		{"split-field SplitPCSet (§6)", core.SplitCounters},
+	}
+	for _, v := range variants {
+		a := make([]int64, n+5)
+		out := make([]int64, n+1)
+		r := core.Runner{X: x, Procs: procs, Chunk: chunk, Metrics: true,
+			Watchdog: 30 * time.Second, NewSet: v.mk}
+		res, err := r.Run(n, func(i int64, p *core.Proc) {
+			a[i+3] = 10*i + 3 // S1, step 1
+			p.Mark(1)
+			p.Wait(2, 1)
+			t2 := a[i+1] // S2, step 2
+			p.Mark(2)
+			p.Wait(1, 1)
+			t3 := a[i+2] // S3, step 3
+			p.Mark(3)
+			p.Wait(1, 2)
+			p.Wait(2, 3)
+			a[i] = t2 + t3 // S4: last source
+			p.Transfer()
+			p.Wait(1, 4)
+			out[i] = a[i-1] // S5
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		for i := int64(1); i <= n; i++ {
+			if want := 10*(i-1) + 3 + 10*(i-2) + 3; i > 2 && a[i] != want {
+				return fmt.Errorf("%s: A[%d] = %d, want %d (dependence violated)", v.name, i, a[i], want)
+			}
+		}
+		fmt.Printf("==== runtime: %s ====\n%s\n", v.name, res.Stats)
+	}
+	return nil
+}
 
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment ids to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	md := flag.Bool("md", false, "render tables as GitHub markdown")
+	rt := flag.Bool("runtime", false, "run the goroutine runtime with waiter metrics and print RunStats")
+	rtn := flag.Int64("rtn", 100_000, "-runtime: iterations")
+	rtx := flag.Int("rtx", 8, "-runtime: physical process counters (X)")
+	rtprocs := flag.Int("rtprocs", 4, "-runtime: worker goroutines")
+	rtchunk := flag.Int("rtchunk", 1, "-runtime: iterations claimed per dispatch")
 	flag.Parse()
+
+	if *rt {
+		if err := runtimeReport(*rtn, *rtx, *rtprocs, *rtchunk); err != nil {
+			fmt.Fprintf(os.Stderr, "runtime report failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := exper.All()
 	if *list {

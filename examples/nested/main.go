@@ -69,7 +69,7 @@ func main() {
 
 	a, b, c := setup()
 	start := time.Now()
-	core.Runner{X: 8, Procs: 4}.Run(nI*nJ, func(lpid int64, p *core.Proc) {
+	core.Runner{X: 8, Procs: 4}.MustRun(nI*nJ, func(lpid int64, p *core.Proc) {
 		// Decode the linearized pid; no boundary special cases anywhere.
 		i := (lpid-1)/nJ + 1
 		j := (lpid-1)%nJ + 1

@@ -34,9 +34,10 @@ func main() {
 	out := make([]int64, n+1)
 
 	start := time.Now()
-	// X process counters folded over N iterations, self-scheduled workers.
-	runner := core.Runner{X: 8, Procs: 4}
-	set := runner.Run(n, func(i int64, p *core.Proc) {
+	// X process counters folded over N iterations, self-scheduled workers,
+	// with the opt-in waiter metrics collected.
+	runner := core.Runner{X: 8, Procs: 4, Metrics: true}
+	res := runner.MustRun(n, func(i int64, p *core.Proc) {
 		a[i+3] = 10*i + 3 // S1: source statement, step 1
 		p.Mark(1)
 		p.Wait(2, 1) // S2 is the sink of S1 -flow(2)->
@@ -67,6 +68,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	set := res.Set
 	fmt.Printf("Doacross of the Fig 2.1 loop: %d iterations on %d workers, X=%d PCs\n",
 		n, 4, set.X())
 	fmt.Printf("all %d array elements match serial execution\n", len(wantA)+len(wantOut))
@@ -74,4 +76,5 @@ func main() {
 	for k := 0; k < set.X(); k++ {
 		fmt.Printf("final PC[%d] = %v\n", k, set.Load(k))
 	}
+	fmt.Printf("\nrun stats:\n%s\n", res.Stats)
 }

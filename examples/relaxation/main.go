@@ -66,7 +66,7 @@ func equal(x, y grid) bool {
 func pipeline() (grid, time.Duration) {
 	a := newGrid()
 	start := time.Now()
-	core.Runner{X: 2 * workers, Procs: workers}.Run(n-1, func(lpid int64, p *core.Proc) {
+	core.Runner{X: 2 * workers, Procs: workers}.MustRun(n-1, func(lpid int64, p *core.Proc) {
 		i := lpid + 1 // this process computes row I = lpid+1
 		for k := int64(2); k <= n; k += g {
 			end := k + g - 1

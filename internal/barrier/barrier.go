@@ -19,10 +19,10 @@ package barrier
 import (
 	"fmt"
 	"math/bits"
-	"runtime"
 	"sync/atomic"
 
 	"github.com/csrd-repro/datasync/internal/sim"
+	"github.com/csrd-repro/datasync/internal/spin"
 )
 
 // Log2 returns log2(p) for a power of two, panicking otherwise (the
@@ -146,20 +146,46 @@ func (b *SimPCBarrier) Ops(pid int, round int64) []sim.Op {
 func (b *SimPCBarrier) Vars() int { return b.p }
 
 // ---- Runtime implementations ----
+//
+// All runtime barriers spin through the shared tiered backoff of package
+// spin (hot re-check → Gosched → capped parked sleep) instead of bare
+// Gosched loops, and keep every per-participant flag on its own cache line:
+// a participant publishing its arrival must not invalidate the line a
+// neighbor is spinning on. Constructors take an optional spin.Config (e.g.
+// to arm the livelock watchdog); the default tiers are spin.Defaults.
+
+// spinCfg folds the optional trailing config argument of the constructors,
+// normalized once here so the per-wait path never re-derives defaults.
+func spinCfg(cfg []spin.Config) spin.Config {
+	if len(cfg) > 0 {
+		return cfg[0].Normalized()
+	}
+	return spin.Config{}.Normalized()
+}
+
+// await spins cond under the barrier's backoff tiers, panicking with a
+// diagnostic when the watchdog deadline (if armed) passes: a deadlocked
+// barrier fails loudly instead of hanging.
+func await(cfg spin.Config, pid int, round int64, cond func() bool) {
+	if _, err := spin.Until(cfg, cond); err != nil {
+		panic(fmt.Sprintf("barrier: participant %d stuck in round %d: %v", pid, round, err))
+	}
+}
 
 // Counter is the runtime counter barrier.
 type Counter struct {
 	p     int64
+	cfg   spin.Config
 	count atomic.Int64
 	round []int64
 }
 
 // NewCounter builds a counter barrier for p participants.
-func NewCounter(p int) *Counter {
+func NewCounter(p int, cfg ...spin.Config) *Counter {
 	if p < 1 {
 		panic("barrier: need at least one participant")
 	}
-	return &Counter{p: int64(p), round: make([]int64, p)}
+	return &Counter{p: int64(p), cfg: spinCfg(cfg), round: make([]int64, p)}
 }
 
 // Await blocks participant pid until all participants of the current round
@@ -168,25 +194,24 @@ func (b *Counter) Await(pid int) {
 	b.round[pid]++
 	r := b.round[pid]
 	b.count.Add(1)
-	for b.count.Load() < r*b.p {
-		runtime.Gosched()
-	}
+	await(b.cfg, pid, r, func() bool { return b.count.Load() >= r*b.p })
 }
 
 // Flags is the runtime Brooks butterfly barrier.
 type Flags struct {
 	p, stages int
-	flags     [][]atomic.Int64 // [stage][pid]
+	cfg       spin.Config
+	flags     [][]spin.Padded // [stage][pid], one cache line per flag
 	round     []int64
 }
 
 // NewFlags builds a butterfly barrier over flags for p participants
 // (p must be a power of two).
-func NewFlags(p int) *Flags {
+func NewFlags(p int, cfg ...spin.Config) *Flags {
 	stages := Log2(p)
-	b := &Flags{p: p, stages: stages, round: make([]int64, p)}
+	b := &Flags{p: p, stages: stages, cfg: spinCfg(cfg), round: make([]int64, p)}
 	for s := 0; s < stages; s++ {
-		b.flags = append(b.flags, make([]atomic.Int64, p))
+		b.flags = append(b.flags, make([]spin.Padded, p))
 	}
 	return b
 }
@@ -198,22 +223,23 @@ func (b *Flags) Await(pid int) {
 	for s := 0; s < b.stages; s++ {
 		partner := pid ^ (1 << s)
 		b.flags[s][pid].Store(r)
-		for b.flags[s][partner].Load() < r {
-			runtime.Gosched()
-		}
+		flag := &b.flags[s][partner]
+		await(b.cfg, pid, r, func() bool { return flag.Load() >= r })
 	}
 }
 
 // PCButterfly is the runtime process-counter butterfly of Fig 5.4.
 type PCButterfly struct {
 	p, stages int
-	pcs       []atomic.Int64
+	cfg       spin.Config
+	pcs       []spin.Padded
 	step      []int64
 }
 
 // NewPCButterfly builds the barrier for p participants (a power of two).
-func NewPCButterfly(p int) *PCButterfly {
-	return &PCButterfly{p: p, stages: Log2(p), pcs: make([]atomic.Int64, p), step: make([]int64, p)}
+func NewPCButterfly(p int, cfg ...spin.Config) *PCButterfly {
+	return &PCButterfly{p: p, stages: Log2(p), cfg: spinCfg(cfg),
+		pcs: make([]spin.Padded, p), step: make([]int64, p)}
 }
 
 // Await blocks participant pid until all participants arrive: per stage,
@@ -223,9 +249,7 @@ func (b *PCButterfly) Await(pid int) {
 		b.step[pid]++
 		step := b.step[pid]
 		b.pcs[pid].Store(step)
-		partner := pid ^ (1 << s)
-		for b.pcs[partner].Load() < step {
-			runtime.Gosched()
-		}
+		pc := &b.pcs[pid^(1<<s)]
+		await(b.cfg, pid, step, func() bool { return pc.Load() >= step })
 	}
 }

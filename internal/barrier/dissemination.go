@@ -2,10 +2,9 @@ package barrier
 
 import (
 	"fmt"
-	"runtime"
-	"sync/atomic"
 
 	"github.com/csrd-repro/datasync/internal/sim"
+	"github.com/csrd-repro/datasync/internal/spin"
 )
 
 // The paper notes that "with a minor modification, b_barrier() can work
@@ -112,19 +111,22 @@ func (b *SimPCDissemination) Ops(pid int, round int64) []sim.Op {
 // Vars returns the number of synchronization variables used (P).
 func (b *SimPCDissemination) Vars() int { return b.p }
 
-// Dissemination is the runtime dissemination barrier for any P.
+// Dissemination is the runtime dissemination barrier for any P, spinning
+// through the shared tiered backoff over cache-line-padded flags like the
+// barriers in barrier.go.
 type Dissemination struct {
 	p, stages int
-	flags     [][]atomic.Int64
+	cfg       spin.Config
+	flags     [][]spin.Padded
 	round     []int64
 }
 
 // NewDissemination builds the barrier for p participants (any p >= 1).
-func NewDissemination(p int) *Dissemination {
+func NewDissemination(p int, cfg ...spin.Config) *Dissemination {
 	stages := Stages(p)
-	b := &Dissemination{p: p, stages: stages, round: make([]int64, p)}
+	b := &Dissemination{p: p, stages: stages, cfg: spinCfg(cfg), round: make([]int64, p)}
 	for s := 0; s < stages; s++ {
-		b.flags = append(b.flags, make([]atomic.Int64, p))
+		b.flags = append(b.flags, make([]spin.Padded, p))
 	}
 	return b
 }
@@ -136,8 +138,7 @@ func (b *Dissemination) Await(pid int) {
 	for s := 0; s < b.stages; s++ {
 		to := (pid + (1 << s)) % b.p
 		b.flags[s][to].Store(r)
-		for b.flags[s][pid].Load() < r {
-			runtime.Gosched()
-		}
+		flag := &b.flags[s][pid]
+		await(b.cfg, pid, r, func() bool { return flag.Load() >= r })
 	}
 }

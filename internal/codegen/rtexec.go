@@ -28,7 +28,7 @@ func RunRuntime(w *Workload, x, procs int) (*sim.Mem, error) {
 	mem := sim.NewMem()
 	w.Setup(mem)
 
-	core.Runner{X: x, Procs: procs}.Run(w.Nest.Iterations(), func(iter int64, p *core.Proc) {
+	_, err = core.Runner{X: x, Procs: procs}.Run(w.Nest.Iterations(), func(iter int64, p *core.Proc) {
 		idx := w.Nest.IndexOf(iter)
 		locals := make(map[string]int64)
 		transferred := false
@@ -53,6 +53,9 @@ func RunRuntime(w *Workload, x, procs int) (*sim.Mem, error) {
 			p.Transfer()
 		}
 	})
+	if err != nil {
+		return nil, fmt.Errorf("codegen: runtime execution of %s: %w", w.Name, err)
+	}
 
 	serialMem := sim.NewMem()
 	w.Setup(serialMem)
@@ -204,7 +207,7 @@ func RunRuntimePipelined(w *Workload, x, procs int, g int64) (*sim.Mem, error) {
 	w.Setup(mem)
 	outer, inner := w.Nest.Indexes[0], w.Nest.Indexes[1]
 
-	core.Runner{X: x, Procs: procs}.Run(outer.Extent(), func(lpid int64, p *core.Proc) {
+	_, err = core.Runner{X: x, Procs: procs}.Run(outer.Extent(), func(lpid int64, p *core.Proc) {
 		i := outer.Lo + lpid - 1
 		sinceMark := int64(0)
 		for j := inner.Lo; j <= inner.Hi; j++ {
@@ -231,6 +234,9 @@ func RunRuntimePipelined(w *Workload, x, procs int, g int64) (*sim.Mem, error) {
 		}
 		p.Transfer()
 	})
+	if err != nil {
+		return nil, fmt.Errorf("codegen: pipelined runtime execution of %s: %w", w.Name, err)
+	}
 
 	serialMem := sim.NewMem()
 	w.Setup(serialMem)

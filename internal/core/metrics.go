@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+
+	"github.com/csrd-repro/datasync/internal/spin"
+)
+
+// CounterSet abstracts a folded set of process counters so executors can run
+// over either representation: the packed single-word PCSet or the §6
+// split-field SplitPCSet. Wait/Mark/Transfer are the improved primitives of
+// Fig 4.3 (wait_PC / mark_PC / transfer_PC) keyed by the 1-based iteration.
+type CounterSet interface {
+	// X returns the number of physical process counters.
+	X() int
+	// Load returns a sound snapshot of PC[slot].
+	Load(slot int) PC
+	// Wait blocks until process iter-dist has completed source statement
+	// step; waits on sources before the first iteration return immediately.
+	Wait(iter, dist, step int64)
+	// Mark publishes step if ownership has already reached iter.
+	Mark(iter, step int64)
+	// Transfer acquires ownership if necessary and passes the PC to iter+X.
+	Transfer(iter int64)
+}
+
+var (
+	_ CounterSet = (*PCSet)(nil)
+	_ CounterSet = (*SplitPCSet)(nil)
+)
+
+// Options configure a counter-set implementation.
+type Options struct {
+	// Spin tunes the backoff tiers (and watchdog) of every wait; the zero
+	// value selects spin.Defaults.
+	Spin spin.Config
+	// Metrics, when non-nil, receives per-slot instrumentation. It must
+	// have been built for at least X slots.
+	Metrics *Metrics
+}
+
+// histBuckets is the wait-cycle histogram size: bucket 0 counts waits
+// satisfied on the fast path (zero pauses), bucket k >= 1 counts waits that
+// took [2^(k-1), 2^k) backoff pauses, with the last bucket open-ended.
+const histBuckets = 18
+
+// Metrics is the opt-in instrumentation of the runtime layer: per-slot wait
+// and spin-iteration counts, ownership hand-off counts, and a global
+// wait-cycle histogram. All counters are updated with atomics and padded so
+// enabling metrics does not reintroduce the false sharing the padded PC
+// storage removes. A nil *Metrics is valid and records nothing.
+type Metrics struct {
+	slots []slotCounters
+	hist  [histBuckets]atomic.Uint64
+}
+
+type slotCounters struct {
+	waits    atomic.Uint64 // wait operations resolved against this slot
+	spins    atomic.Uint64 // total backoff pauses across those waits
+	handoffs atomic.Uint64 // ownership transfers out of this slot
+	_        [spin.CacheLine - 24]byte
+}
+
+// NewMetrics builds a collector for x slots.
+func NewMetrics(x int) *Metrics {
+	if x < 1 {
+		panic("core: metrics need at least one slot")
+	}
+	return &Metrics{slots: make([]slotCounters, x)}
+}
+
+func histBucket(spins int) int {
+	b := bits.Len(uint(spins))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+func (m *Metrics) noteWait(slot, spins int) {
+	if m == nil {
+		return
+	}
+	c := &m.slots[slot]
+	c.waits.Add(1)
+	c.spins.Add(uint64(spins))
+	m.hist[histBucket(spins)].Add(1)
+}
+
+func (m *Metrics) noteHandoff(slot int) {
+	if m == nil {
+		return
+	}
+	m.slots[slot].handoffs.Add(1)
+}
+
+// SlotStats is a snapshot of one slot's counters.
+type SlotStats struct {
+	Waits     uint64 // wait operations resolved against the slot
+	SpinIters uint64 // total backoff pauses across those waits
+	Handoffs  uint64 // ownership transfers out of the slot
+}
+
+// MetricsSnapshot is a point-in-time copy of a Metrics collector.
+type MetricsSnapshot struct {
+	Slots []SlotStats
+	// WaitHist[0] counts contention-free waits; WaitHist[k] counts waits
+	// that took [2^(k-1), 2^k) pauses (last bucket open-ended).
+	WaitHist []uint64
+}
+
+// Snapshot copies the current counter values. Safe to call while waiters
+// are still running; the copy is per-counter consistent.
+func (m *Metrics) Snapshot() *MetricsSnapshot {
+	if m == nil {
+		return nil
+	}
+	s := &MetricsSnapshot{Slots: make([]SlotStats, len(m.slots)), WaitHist: make([]uint64, histBuckets)}
+	for k := range m.slots {
+		c := &m.slots[k]
+		s.Slots[k] = SlotStats{Waits: c.waits.Load(), SpinIters: c.spins.Load(), Handoffs: c.handoffs.Load()}
+	}
+	for b := range m.hist {
+		s.WaitHist[b] = m.hist[b].Load()
+	}
+	return s
+}
+
+// Totals sums the per-slot counters.
+func (s *MetricsSnapshot) Totals() SlotStats {
+	var t SlotStats
+	for _, c := range s.Slots {
+		t.Waits += c.Waits
+		t.SpinIters += c.SpinIters
+		t.Handoffs += c.Handoffs
+	}
+	return t
+}
+
+// String renders the snapshot as a small per-slot table plus the wait-cycle
+// histogram (empty buckets elided).
+func (s *MetricsSnapshot) String() string {
+	var b strings.Builder
+	t := s.Totals()
+	fmt.Fprintf(&b, "waits=%d spinIters=%d handoffs=%d\n", t.Waits, t.SpinIters, t.Handoffs)
+	fmt.Fprintf(&b, "%-6s %10s %10s %10s\n", "slot", "waits", "spinIters", "handoffs")
+	for k, c := range s.Slots {
+		fmt.Fprintf(&b, "%-6d %10d %10d %10d\n", k, c.Waits, c.SpinIters, c.Handoffs)
+	}
+	b.WriteString("wait-pause histogram:\n")
+	for k, n := range s.WaitHist {
+		if n == 0 {
+			continue
+		}
+		switch {
+		case k == 0:
+			fmt.Fprintf(&b, "  fast path      %10d\n", n)
+		case k == histBuckets-1:
+			fmt.Fprintf(&b, "  >=%-7d      %10d\n", 1<<(k-1), n)
+		default:
+			fmt.Fprintf(&b, "  %7d-%-7d %8d\n", 1<<(k-1), 1<<k-1, n)
+		}
+	}
+	return b.String()
+}

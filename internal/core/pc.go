@@ -75,6 +75,9 @@ func Fold(iter int64, x int) int {
 	if iter < 1 {
 		panic(fmt.Sprintf("core: iteration %d must be >= 1", iter))
 	}
+	if x < 1 {
+		panic(fmt.Sprintf("core: folded onto %d physical PCs, need at least 1", x))
+	}
 	return int((iter - 1) % int64(x))
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -69,6 +70,36 @@ func TestFold(t *testing.T) {
 		}
 	}()
 	Fold(0, 4)
+}
+
+// TestFoldValidatesX: a non-positive X must produce Fold's own diagnostic,
+// not the runtime's bare integer-divide-by-zero panic.
+func TestFoldValidatesX(t *testing.T) {
+	for _, x := range []int{0, -1, -8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("Fold(1, %d) did not panic", x)
+					return
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "physical PCs") {
+					t.Errorf("Fold(1, %d) panicked with %v, want the core diagnostic", x, r)
+				}
+			}()
+			Fold(1, x)
+		}()
+	}
+	// The iter check still fires first (and Fold(0, 0) must not divide).
+	func() {
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(r.(string), "must be >= 1") {
+				t.Errorf("Fold(0, 0) panicked with %v, want the iteration diagnostic", r)
+			}
+		}()
+		Fold(0, 0)
+	}()
 }
 
 func TestInitialPC(t *testing.T) {

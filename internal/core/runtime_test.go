@@ -1,11 +1,16 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/spin"
 )
 
 func TestPCSetInitialState(t *testing.T) {
@@ -68,13 +73,13 @@ func TestWaitBeforeLoopStartReturns(t *testing.T) {
 
 // fig21Run executes the loop of Fig 2.1 with the improved primitives, as in
 // Fig 4.2b (mark/transfer variant), and returns the resulting arrays.
-func fig21Run(t *testing.T, n int64, x, procs int) ([]int64, []int64) {
+func fig21Run(t *testing.T, n int64, x, procs, chunk int) ([]int64, []int64) {
 	t.Helper()
 	a := make([]int64, n+4+1) // A[1-1 .. N+3]
 	out := make([]int64, n+1) // S5 results per iteration
 	f := func(i int64) int64 { return 10*i + 3 }
-	r := Runner{X: x, Procs: procs}
-	r.Run(n, func(i int64, p *Proc) {
+	r := Runner{X: x, Procs: procs, Chunk: chunk}
+	r.MustRun(n, func(i int64, p *Proc) {
 		a[i+3] = f(i) // S1 (source step 1)
 		p.Mark(1)
 		p.Wait(2, 1) // S2 sink of S1, distance 2
@@ -111,18 +116,21 @@ func fig21Serial(n int64) ([]int64, []int64) {
 func TestRunnerFig21MatchesSerial(t *testing.T) {
 	const n = 300
 	wantA, wantOut := fig21Serial(n)
-	for _, cfg := range []struct{ x, procs int }{
-		{1, 2}, {2, 4}, {4, 4}, {8, 3}, {16, 8},
+	for _, cfg := range []struct{ x, procs, chunk int }{
+		{1, 2, 1}, {2, 4, 1}, {4, 4, 1}, {8, 3, 1}, {16, 8, 1},
+		// Chunked in-order self-scheduling, including chunks larger than X
+		// and chunks that do not divide n.
+		{4, 4, 2}, {8, 4, 7}, {2, 3, 16},
 	} {
-		gotA, gotOut := fig21Run(t, n, cfg.x, cfg.procs)
+		gotA, gotOut := fig21Run(t, n, cfg.x, cfg.procs, cfg.chunk)
 		for i := range wantA {
 			if gotA[i] != wantA[i] {
-				t.Fatalf("X=%d P=%d: A[%d] = %d, want %d", cfg.x, cfg.procs, i, gotA[i], wantA[i])
+				t.Fatalf("X=%d P=%d C=%d: A[%d] = %d, want %d", cfg.x, cfg.procs, cfg.chunk, i, gotA[i], wantA[i])
 			}
 		}
 		for i := range wantOut {
 			if gotOut[i] != wantOut[i] {
-				t.Fatalf("X=%d P=%d: out[%d] = %d, want %d", cfg.x, cfg.procs, i, gotOut[i], wantOut[i])
+				t.Fatalf("X=%d P=%d C=%d: out[%d] = %d, want %d", cfg.x, cfg.procs, cfg.chunk, i, gotOut[i], wantOut[i])
 			}
 		}
 	}
@@ -130,9 +138,9 @@ func TestRunnerFig21MatchesSerial(t *testing.T) {
 
 func TestRunnerFinalOwnership(t *testing.T) {
 	const n, x = 20, 4
-	set := Runner{X: x, Procs: 3}.Run(n, func(i int64, p *Proc) {
+	set := Runner{X: x, Procs: 3}.MustRun(n, func(i int64, p *Proc) {
 		p.Transfer()
-	})
+	}).Set
 	// Slot k must end owned by the smallest owner > n congruent to k+1.
 	for k := 0; k < x; k++ {
 		got := set.Load(k).Owner
@@ -195,7 +203,7 @@ func TestRunnerStressRandomChains(t *testing.T) {
 		d2 := int64(1 + rng.Intn(6))
 		a := make([]int64, n+1)
 		b := make([]int64, n+1)
-		Runner{X: x, Procs: procs}.Run(n, func(i int64, p *Proc) {
+		Runner{X: x, Procs: procs, Chunk: 1 + rng.Intn(4)}.MustRun(n, func(i int64, p *Proc) {
 			p.Wait(d1, 1)
 			if i-d1 >= 1 {
 				a[i] = a[i-d1] + 1 // source step 1
@@ -237,15 +245,21 @@ func TestRunnerStressRandomChains(t *testing.T) {
 
 func TestRunnerDefaults(t *testing.T) {
 	var ran atomic.Int64
-	set := Runner{}.Run(10, func(i int64, p *Proc) {
+	res := Runner{}.MustRun(10, func(i int64, p *Proc) {
 		ran.Add(1)
 		p.Transfer()
 	})
 	if ran.Load() != 10 {
 		t.Errorf("ran %d iterations, want 10", ran.Load())
 	}
-	if set.X() != 2*runtime.GOMAXPROCS(0) {
-		t.Errorf("default X = %d, want %d", set.X(), 2*runtime.GOMAXPROCS(0))
+	if res.Set.X() != 2*runtime.GOMAXPROCS(0) {
+		t.Errorf("default X = %d, want %d", res.Set.X(), 2*runtime.GOMAXPROCS(0))
+	}
+	if res.Stats.Chunk != 1 || res.Stats.Iterations != 10 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if res.Stats.Metrics != nil {
+		t.Error("metrics collected without opt-in")
 	}
 }
 
@@ -310,6 +324,152 @@ func TestPCSetReusedAcrossLoops(t *testing.T) {
 	for k := 0; k < x; k++ {
 		if owner := s.Load(k).Owner; owner <= 2*n {
 			t.Errorf("slot %d final owner %d, want > %d", k, owner, 2*n)
+		}
+	}
+}
+
+func TestRunnerErrorOnMissingTransfer(t *testing.T) {
+	// A body that never transfers is a protocol violation; Run must report
+	// it as an error (with the partial result attached), not panic.
+	res, err := Runner{X: 2, Procs: 2}.Run(6, func(i int64, p *Proc) {})
+	if err == nil {
+		t.Fatal("Run with missing transfers returned nil error")
+	}
+	if res == nil || res.Set == nil {
+		t.Fatal("Run did not attach the partial result to the error")
+	}
+	if !strings.Contains(err.Error(), "never transferred") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMustRunPanicsOnProtocolViolation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRun did not panic on a protocol violation")
+		}
+	}()
+	Runner{X: 2, Procs: 2}.MustRun(4, func(i int64, p *Proc) {})
+}
+
+func TestRunnerWatchdogTurnsLivelockIntoError(t *testing.T) {
+	// Every iteration waits on its own step (dist 0), which nobody ever
+	// marks: a guaranteed livelock. The watchdog must abort the run with a
+	// *WaitError instead of hanging forever.
+	fast := spin.Config{HotSpins: 1, YieldSpins: 1,
+		SleepMin: 50 * time.Microsecond, SleepMax: 200 * time.Microsecond}
+	_, err := Runner{X: 2, Procs: 2, Spin: fast, Watchdog: 20 * time.Millisecond}.
+		Run(4, func(i int64, p *Proc) {
+			p.Wait(0, 1)
+			p.Transfer()
+		})
+	var we *WaitError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v, want *WaitError", err)
+	}
+	if we.Op != "wait_PC" {
+		t.Errorf("stalled op = %q, want wait_PC", we.Op)
+	}
+	var de *spin.DeadlineError
+	if !errors.As(err, &de) {
+		t.Errorf("WaitError does not unwrap to *spin.DeadlineError: %v", err)
+	}
+}
+
+func TestRunnerMetrics(t *testing.T) {
+	const n, x = 120, 4
+	res := Runner{X: x, Procs: 3, Metrics: true}.MustRun(n, func(i int64, p *Proc) {
+		p.Wait(1, 1)
+		p.Mark(1)
+		p.Transfer()
+	})
+	m := res.Stats.Metrics
+	if m == nil {
+		t.Fatal("Metrics not collected despite opt-in")
+	}
+	if len(m.Slots) != x {
+		t.Fatalf("%d slot stats, want %d", len(m.Slots), x)
+	}
+	tot := m.Totals()
+	// One hand-off per iteration, exactly.
+	if tot.Handoffs != n {
+		t.Errorf("handoffs = %d, want %d", tot.Handoffs, n)
+	}
+	// Each iteration issues one contended-or-not Wait (only n-1 reach a
+	// real source) plus one ownership acquisition inside Transfer.
+	if tot.Waits < n {
+		t.Errorf("waits = %d, want >= %d", tot.Waits, n)
+	}
+	var histTotal uint64
+	for _, c := range m.WaitHist {
+		histTotal += c
+	}
+	if histTotal != tot.Waits {
+		t.Errorf("histogram mass %d != total waits %d", histTotal, tot.Waits)
+	}
+	if s := res.Stats.String(); !strings.Contains(s, "handoffs") {
+		t.Errorf("RunStats.String() missing metrics: %q", s)
+	}
+}
+
+// TestRunnerSplitCounters drives the §6 split-field implementation through
+// Runner via the CounterSet interface and checks the dataflow result.
+func TestRunnerSplitCounters(t *testing.T) {
+	const n = 300
+	wantA, wantOut := fig21Serial(n)
+	a := make([]int64, n+4+1)
+	out := make([]int64, n+1)
+	res := Runner{X: 4, Procs: 4, Chunk: 2, Metrics: true, NewSet: SplitCounters}.
+		MustRun(n, func(i int64, p *Proc) {
+			a[i+3] = 10*i + 3
+			p.Mark(1)
+			p.Wait(2, 1)
+			t2 := a[i+1]
+			p.Mark(2)
+			p.Wait(1, 1)
+			t3 := a[i+2]
+			p.Mark(3)
+			p.Wait(1, 2)
+			p.Wait(2, 3)
+			a[i] = t2 + t3
+			p.Transfer()
+			p.Wait(1, 4)
+			out[i] = a[i-1]
+		})
+	if _, ok := res.Set.(*SplitPCSet); !ok {
+		t.Fatalf("Runner used %T, want *SplitPCSet", res.Set)
+	}
+	for i := range wantA {
+		if a[i] != wantA[i] {
+			t.Fatalf("A[%d] = %d, want %d", i, a[i], wantA[i])
+		}
+	}
+	for i := range wantOut {
+		if out[i] != wantOut[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], wantOut[i])
+		}
+	}
+	if tot := res.Stats.Metrics.Totals(); tot.Handoffs != n {
+		t.Errorf("split handoffs = %d, want %d", tot.Handoffs, n)
+	}
+}
+
+func TestNewProcBindsAnyCounterSet(t *testing.T) {
+	for name, s := range map[string]CounterSet{
+		"packed": NewPCSet(2),
+		"split":  NewSplitPCSet(2),
+	} {
+		p := NewProc(s, 1)
+		if p.Iter() != 1 {
+			t.Errorf("%s: Iter = %d", name, p.Iter())
+		}
+		p.Mark(1)
+		if got := s.Load(0); got != (PC{1, 1}) {
+			t.Errorf("%s: Mark through interface did not apply: %v", name, got)
+		}
+		p.Transfer()
+		if got := s.Load(0).Owner; got != 3 {
+			t.Errorf("%s: Transfer through interface: owner %d, want 3", name, got)
 		}
 	}
 }

@@ -56,8 +56,13 @@ func (s *SimPCs) ReleasePC(iter int64) sim.Op {
 // has completed its step-th source statement. Ownership having moved past
 // iter-dist also satisfies the wait (lexicographic order), which is sound
 // because ownership transfers only after the owner's last source statement.
+// A source before the first iteration does not exist; such waits are
+// satisfied immediately (a zero-cycle no-op), mirroring PCSet.Wait.
 func (s *SimPCs) WaitPC(iter, dist, step int64) sim.Op {
 	src := iter - dist
+	if src < 1 {
+		return sim.Compute(0, nil, fmt.Sprintf("wait_PC(%d,%d) i=%d noop", dist, step, iter))
+	}
 	return sim.WaitGE(s.slot(src), PC{Owner: src, Step: step}.Pack(),
 		fmt.Sprintf("wait_PC(%d,%d) i=%d", dist, step, iter))
 }

@@ -93,6 +93,51 @@ func TestSimPCsWaitSatisfiedByOwnershipAdvance(t *testing.T) {
 	}
 }
 
+// TestSimPCsWaitBoundaryNoOp: wait_PC whose source precedes the first
+// iteration (iter-dist < 1) must be a satisfied no-op, exactly as
+// PCSet.Wait's guard — not a panic in Fold. This is the regression test for
+// the boundary-wait bug: the seed code panicked here.
+func TestSimPCsWaitBoundaryNoOp(t *testing.T) {
+	m := sim.New(sim.Config{Processors: 1, SyncOpCost: 0})
+	pcs := NewSimPCs(m, 2)
+	ops := []sim.Op{
+		pcs.WaitPC(1, 2, 1), // source iteration -1 does not exist
+		pcs.WaitPC(2, 2, 3), // source iteration 0 does not exist
+		pcs.WaitPC(3, 3, 1), // source iteration 0, dist == iter
+	}
+	ops = append(ops, pcs.TransferPCOps(1)...)
+	stats, err := m.RunProcesses([][]sim.Op{ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The no-op waits must not poll any variable.
+	if stats.Polls != 0 {
+		t.Errorf("boundary waits polled %d times, want 0", stats.Polls)
+	}
+	if got := Unpack(m.VarValue(pcs.Vars()[0])); got != (PC{3, 0}) {
+		t.Errorf("final PC[0] = %v, want <3,0>", got)
+	}
+}
+
+// TestSimPCsWaitBoundaryInExpandedProgram mirrors how codegen emits waits:
+// every early iteration of a distance-d dependence carries a boundary wait.
+func TestSimPCsWaitBoundaryInExpandedProgram(t *testing.T) {
+	m := sim.New(sim.Config{Processors: 2, BusLatency: 1, SyncOpCost: 1})
+	pcs := NewSimPCs(m, 2)
+	const n, dist = 4, 3
+	progs := make([][]sim.Op, 2)
+	for pid := 0; pid < 2; pid++ {
+		for it := int64(1 + pid); it <= n; it += 2 {
+			progs[pid] = append(progs[pid], pcs.WaitPC(it, dist, 1))
+			progs[pid] = append(progs[pid], pcs.MarkPC(it, 1))
+			progs[pid] = append(progs[pid], pcs.TransferPCOps(it)...)
+		}
+	}
+	if _, err := m.RunProcesses(progs); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPCString(t *testing.T) {
 	if s := (PC{7, 3}).String(); s != "<7,3>" {
 		t.Errorf("String = %q", s)

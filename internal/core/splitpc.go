@@ -1,8 +1,7 @@
 package core
 
 import (
-	"runtime"
-	"sync/atomic"
+	"github.com/csrd-repro/datasync/internal/spin"
 )
 
 // SplitPCSet stores each process counter as two separately written words,
@@ -28,19 +27,29 @@ import (
 //     and updates may interleave freely, which is true, but the field read
 //     order within one probe is constrained — a refinement the model
 //     checker surfaces.)
+//
+// Both fields live on their own cache lines (spin.Padded), and all waits go
+// through the shared tiered backoff, exactly as PCSet's.
 type SplitPCSet struct {
 	x      int64
-	owners []atomic.Int64
-	steps  []atomic.Int64
+	cfg    spin.Config
+	m      *Metrics
+	owners []spin.Padded
+	steps  []spin.Padded
 }
 
 // NewSplitPCSet builds X split-field process counters initialized to
-// <slot+1, 0>.
-func NewSplitPCSet(x int) *SplitPCSet {
+// <slot+1, 0> with the default waiting strategy and no metrics.
+func NewSplitPCSet(x int) *SplitPCSet { return NewSplitPCSetOpts(x, Options{}) }
+
+// NewSplitPCSetOpts builds X split-field process counters with explicit
+// spin tiers and optional metrics collection.
+func NewSplitPCSetOpts(x int, o Options) *SplitPCSet {
 	if x < 1 {
 		panic("core: need at least one PC")
 	}
-	s := &SplitPCSet{x: int64(x), owners: make([]atomic.Int64, x), steps: make([]atomic.Int64, x)}
+	s := &SplitPCSet{x: int64(x), cfg: o.Spin.Normalized(), m: o.Metrics,
+		owners: make([]spin.Padded, x), steps: make([]spin.Padded, x)}
 	for k := 0; k < x; k++ {
 		s.owners[k].Store(int64(k) + 1)
 	}
@@ -55,6 +64,16 @@ func (s *SplitPCSet) Load(slot int) PC {
 	return PC{Owner: s.owners[slot].Load(), Step: s.steps[slot].Load()}
 }
 
+// satisfied probes one wait condition with the required field read order:
+// owner first, then (only when needed) step.
+func (s *SplitPCSet) satisfied(slot int, src, step int64) bool {
+	o := s.owners[slot].Load()
+	if o > src {
+		return true
+	}
+	return o == src && s.steps[slot].Load() >= step
+}
+
 // Wait is wait_PC(dist, step): spin until the observed pair
 // <owner, step> >= <iter-dist, step> lexicographically.
 func (s *SplitPCSet) Wait(iter, dist, step int64) {
@@ -63,16 +82,19 @@ func (s *SplitPCSet) Wait(iter, dist, step int64) {
 		return
 	}
 	slot := Fold(src, int(s.x))
-	for {
-		o := s.owners[slot].Load()
-		if o > src {
-			return
-		}
-		if o == src && s.steps[slot].Load() >= step {
-			return
-		}
-		runtime.Gosched()
+	if s.satisfied(slot, src, step) {
+		s.m.noteWait(slot, 0)
+		return
 	}
+	b := spin.New(s.cfg)
+	for !s.satisfied(slot, src, step) {
+		if err := b.Pause(); err != nil {
+			panic(&WaitError{Op: "wait_PC", Iter: iter, Slot: slot,
+				Last: s.Load(slot), Want: PC{Owner: src, Step: step},
+				Err: err.(*spin.DeadlineError)})
+		}
+	}
+	s.m.noteWait(slot, b.Spins())
 }
 
 // Mark is mark_PC(step): update the step only when ownership has been
@@ -88,9 +110,20 @@ func (s *SplitPCSet) Mark(iter, step int64) {
 // section-6 store order — step first, owner second.
 func (s *SplitPCSet) Transfer(iter int64) {
 	slot := Fold(iter, int(s.x))
-	for s.owners[slot].Load() < iter {
-		runtime.Gosched()
+	spins := 0
+	if s.owners[slot].Load() < iter {
+		b := spin.New(s.cfg)
+		for s.owners[slot].Load() < iter {
+			if err := b.Pause(); err != nil {
+				panic(&WaitError{Op: "transfer_PC", Iter: iter, Slot: slot,
+					Last: s.Load(slot), Want: PC{Owner: iter, Step: 0},
+					Err: err.(*spin.DeadlineError)})
+			}
+		}
+		spins = b.Spins()
 	}
+	s.m.noteWait(slot, spins)        // ownership acquisitions count as waits
 	s.steps[slot].Store(0)           // step field first ...
 	s.owners[slot].Store(iter + s.x) // ... then the owner field
+	s.m.noteHandoff(slot)
 }

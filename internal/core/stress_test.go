@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// chainBody is a two-recurrence Doacross body (distances 1 and 3) whose
+// result exposes any premature wait release; wantChain is its oracle.
+func chainBody(a, b []int64) func(i int64, p *Proc) {
+	return func(i int64, p *Proc) {
+		p.Wait(1, 1)
+		if i > 1 {
+			a[i] = a[i-1] + 1
+		} else {
+			a[i] = 1
+		}
+		p.Mark(1)
+		p.Wait(3, 2)
+		if i > 3 {
+			b[i] = b[i-3] + a[i]
+		} else {
+			b[i] = a[i]
+		}
+		p.Transfer()
+	}
+}
+
+func wantChain(n int64) ([]int64, []int64) {
+	a := make([]int64, n+1)
+	b := make([]int64, n+1)
+	for i := int64(1); i <= n; i++ {
+		if i > 1 {
+			a[i] = a[i-1] + 1
+		} else {
+			a[i] = 1
+		}
+		if i > 3 {
+			b[i] = b[i-3] + a[i]
+		} else {
+			b[i] = a[i]
+		}
+	}
+	return a, b
+}
+
+// TestRunnerAcrossGOMAXPROCS drives both counter representations through
+// the Runner under several GOMAXPROCS settings (notably 1, where liveness
+// depends entirely on the backoff tiers yielding, and oversubscribed
+// values). Run it with -race to check the memory-model claims on real
+// hardware as well as in the interleaving model.
+func TestRunnerAcrossGOMAXPROCS(t *testing.T) {
+	const n = 250
+	wa, wb := wantChain(n)
+	sets := map[string]func(x int, o Options) CounterSet{
+		"packed": nil, // Runner default
+		"split":  SplitCounters,
+	}
+	for _, gmp := range []int{1, 2, 4, 8} {
+		for name, mk := range sets {
+			t.Run(fmt.Sprintf("gomaxprocs=%d/%s", gmp, name), func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(gmp)
+				defer runtime.GOMAXPROCS(prev)
+				a := make([]int64, n+1)
+				b := make([]int64, n+1)
+				res := Runner{X: 4, Procs: 6, Chunk: 3, NewSet: mk}.
+					MustRun(n, chainBody(a, b))
+				for i := int64(1); i <= n; i++ {
+					if a[i] != wa[i] || b[i] != wb[i] {
+						t.Fatalf("i=%d: a=%d/%d b=%d/%d", i, a[i], wa[i], b[i], wb[i])
+					}
+				}
+				for k := 0; k < res.Set.X(); k++ {
+					if owner := res.Set.Load(k).Owner; owner <= n {
+						t.Errorf("slot %d final owner %d", k, owner)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSplitPCSetThroughRunnerStress is the long-haul version of the
+// interface-driven split-field stress (skipped with -short).
+func TestSplitPCSetThroughRunnerStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const n = 5000
+	wa, wb := wantChain(n)
+	for trial, cfg := range []Runner{
+		{X: 1, Procs: 4, NewSet: SplitCounters},
+		{X: 8, Procs: 8, Chunk: 5, NewSet: SplitCounters},
+		{X: 3, Procs: 2, Chunk: 32, NewSet: SplitCounters, Metrics: true},
+	} {
+		a := make([]int64, n+1)
+		b := make([]int64, n+1)
+		res := cfg.MustRun(n, chainBody(a, b))
+		for i := int64(1); i <= n; i++ {
+			if a[i] != wa[i] || b[i] != wb[i] {
+				t.Fatalf("trial %d i=%d: a=%d/%d b=%d/%d", trial, i, a[i], wa[i], b[i], wb[i])
+			}
+		}
+		if m := res.Stats.Metrics; m != nil && m.Totals().Handoffs != n {
+			t.Errorf("trial %d: handoffs = %d, want %d", trial, m.Totals().Handoffs, n)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package spin provides the shared waiting strategy of the runtime layer:
+// tiered adaptive backoff (hot spin → cooperative yield → parked sleep with
+// capped exponential backoff), an optional livelock watchdog, and
+// cache-line-padded atomic counters.
+//
+// The paper's section 6 rejects context switching for medium-grain wait_PC
+// spins; the tiers keep the common short wait on the cheap hot path (a bare
+// re-check of the condition) while long waits progressively yield the
+// processor, so the scheme stays live on a single-core host without turning
+// every stalled waiter into a scheduler hot spot. SynCron-style hierarchical
+// backoff is what makes counter-based synchronization scale past a handful
+// of cores; this package is the software rendition of that idea.
+package spin
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// CacheLine is the assumed coherence granularity in bytes.
+const CacheLine = 64
+
+// Padded is an atomic.Int64 alone on its cache line: a []Padded places
+// consecutive counters exactly CacheLine bytes apart, so waiters spinning on
+// adjacent slots never invalidate each other's lines (no false sharing).
+type Padded struct {
+	atomic.Int64
+	_ [CacheLine - 8]byte
+}
+
+// Config tunes the backoff tiers. The zero value of a field selects its
+// default (see Defaults); a negative count disables that tier. Watchdog 0
+// disables the deadline.
+type Config struct {
+	// HotSpins is how many times the caller re-checks its condition
+	// back-to-back (tier 1) before starting to yield. Pause is free in
+	// this tier: the re-check itself is the spin.
+	HotSpins int
+	// YieldSpins is how many runtime.Gosched calls (tier 2) precede the
+	// sleeping tier.
+	YieldSpins int
+	// SleepMin and SleepMax bound tier 3's parked sleeps; the sleep doubles
+	// per pause from SleepMin up to the SleepMax cap.
+	SleepMin time.Duration
+	SleepMax time.Duration
+	// Watchdog, when positive, bounds one wait: a waiter still unsatisfied
+	// this long after entering the sleeping tier gets a *DeadlineError
+	// from Pause instead of hanging silently.
+	Watchdog time.Duration
+}
+
+// Defaults returns the default backoff tiers: 64 hot re-checks, 128 yields,
+// then 2µs..512µs capped exponential sleeps, no watchdog. On an effectively
+// serial host (one CPU, or GOMAXPROCS=1) the hot tier is disabled (-1):
+// nothing can change the awaited condition while this goroutine monopolizes
+// the processor, so bare re-checks only delay the writer's turn to run.
+func Defaults() Config {
+	hot := 64
+	if runtime.NumCPU() == 1 || runtime.GOMAXPROCS(0) == 1 {
+		hot = -1
+	}
+	return Config{HotSpins: hot, YieldSpins: 128, SleepMin: 2 * time.Microsecond, SleepMax: 512 * time.Microsecond}
+}
+
+// Normalized returns c with every zero field replaced by its default, so
+// the result round-trips through New without consulting Defaults again.
+// Long-lived waiters (counter sets, barriers) normalize their Config once
+// at construction: Defaults reads GOMAXPROCS, which takes a scheduler
+// lock — too expensive for the per-wait path.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	if c.HotSpins != 0 && c.YieldSpins != 0 && c.SleepMin > 0 && c.SleepMax != 0 {
+		// Fully specified (or already normalized): skip the Defaults call.
+		if c.SleepMax < c.SleepMin {
+			c.SleepMax = c.SleepMin
+		}
+		return c
+	}
+	d := Defaults()
+	if c.HotSpins == 0 {
+		c.HotSpins = d.HotSpins
+	}
+	if c.YieldSpins == 0 {
+		c.YieldSpins = d.YieldSpins
+	}
+	if c.SleepMin <= 0 {
+		c.SleepMin = d.SleepMin
+	}
+	if c.SleepMax == 0 {
+		c.SleepMax = d.SleepMax
+	}
+	if c.SleepMax < c.SleepMin {
+		c.SleepMax = c.SleepMin
+	}
+	return c
+}
+
+// DeadlineError reports a wait that exceeded the watchdog deadline.
+type DeadlineError struct {
+	Waited time.Duration // time since the wait entered the sleeping tier
+	Spins  int           // total pauses taken
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("spin: wait exceeded watchdog deadline after %v (%d spins)", e.Waited, e.Spins)
+}
+
+// Backoff is the per-wait tier state. Create one per contended wait with
+// New; it is not safe for concurrent use.
+type Backoff struct {
+	cfg   Config
+	spins int
+	sleep time.Duration
+	start time.Time
+}
+
+// New returns a Backoff at the start of tier 1, with zero Config fields
+// replaced by their defaults.
+func New(cfg Config) Backoff { return Backoff{cfg: cfg.withDefaults()} }
+
+// Spins returns how many pauses this wait has taken so far.
+func (b *Backoff) Spins() int { return b.spins }
+
+// Pause takes one backoff step in the current tier and advances the tier
+// state. It returns a *DeadlineError once the watchdog deadline has passed,
+// nil otherwise.
+func (b *Backoff) Pause() error {
+	b.spins++
+	switch {
+	case b.spins <= b.cfg.HotSpins:
+		// Tier 1: the caller's condition re-check is the spin.
+	case b.spins <= b.cfg.HotSpins+b.cfg.YieldSpins:
+		runtime.Gosched()
+	default:
+		if b.sleep == 0 {
+			b.sleep = b.cfg.SleepMin
+			b.start = time.Now()
+		} else if b.sleep < b.cfg.SleepMax {
+			b.sleep *= 2
+			if b.sleep > b.cfg.SleepMax {
+				b.sleep = b.cfg.SleepMax
+			}
+		}
+		time.Sleep(b.sleep)
+		if w := b.cfg.Watchdog; w > 0 {
+			if waited := time.Since(b.start); waited > w {
+				return &DeadlineError{Waited: waited, Spins: b.spins}
+			}
+		}
+	}
+	return nil
+}
+
+// Until spins cond to true under cfg's tiers and returns the number of
+// pauses taken. It returns a *DeadlineError (with the same pause count) if
+// the watchdog deadline passes first.
+func Until(cfg Config, cond func() bool) (int, error) {
+	if cond() {
+		return 0, nil
+	}
+	b := New(cfg)
+	for {
+		if err := b.Pause(); err != nil {
+			return b.spins, err
+		}
+		if cond() {
+			return b.spins, nil
+		}
+	}
+}

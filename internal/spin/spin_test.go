@@ -1,0 +1,103 @@
+package spin
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func TestPaddedLayout(t *testing.T) {
+	if got := unsafe.Sizeof(Padded{}); got != CacheLine {
+		t.Errorf("sizeof(Padded) = %d, want %d", got, CacheLine)
+	}
+	// Consecutive slice elements must sit exactly one cache line apart, so
+	// no two counters can ever share a line (whatever the base alignment).
+	s := make([]Padded, 4)
+	d := uintptr(unsafe.Pointer(&s[1])) - uintptr(unsafe.Pointer(&s[0]))
+	if d != CacheLine {
+		t.Errorf("element stride = %d, want %d", d, CacheLine)
+	}
+}
+
+func TestPaddedIsAtomic(t *testing.T) {
+	var p Padded
+	p.Store(7)
+	if p.Add(3) != 10 || p.Load() != 10 {
+		t.Error("Padded does not behave as atomic.Int64")
+	}
+}
+
+func TestDefaultsNormalization(t *testing.T) {
+	c := Config{}.withDefaults()
+	d := Defaults()
+	if c != d {
+		t.Errorf("zero Config normalized to %+v, want %+v", c, d)
+	}
+	// Explicitly disabled tiers survive normalization.
+	c = Config{HotSpins: -1, YieldSpins: -1}.withDefaults()
+	if c.HotSpins != -1 || c.YieldSpins != -1 {
+		t.Errorf("disabled tiers overwritten: %+v", c)
+	}
+	// SleepMax below SleepMin is clamped up.
+	c = Config{SleepMin: time.Millisecond, SleepMax: time.Microsecond}.withDefaults()
+	if c.SleepMax != c.SleepMin {
+		t.Errorf("SleepMax = %v, want clamped to %v", c.SleepMax, c.SleepMin)
+	}
+}
+
+func TestBackoffTierProgression(t *testing.T) {
+	b := New(Config{HotSpins: 3, YieldSpins: 2, SleepMin: time.Microsecond, SleepMax: 4 * time.Microsecond})
+	for i := 1; i <= 8; i++ {
+		if err := b.Pause(); err != nil {
+			t.Fatalf("pause %d: %v", i, err)
+		}
+	}
+	if b.Spins() != 8 {
+		t.Errorf("Spins = %d, want 8", b.Spins())
+	}
+	// After 3 hot + 2 yield pauses, 3 sleeping pauses doubled 1µs -> 4µs cap.
+	if b.sleep != 4*time.Microsecond {
+		t.Errorf("sleep = %v, want capped at 4µs", b.sleep)
+	}
+}
+
+func TestUntilImmediate(t *testing.T) {
+	spins, err := Until(Config{}, func() bool { return true })
+	if spins != 0 || err != nil {
+		t.Errorf("Until(true) = %d, %v", spins, err)
+	}
+}
+
+func TestUntilSpinsToCondition(t *testing.T) {
+	var n atomic.Int64
+	spins, err := Until(Config{HotSpins: 2, YieldSpins: 2}, func() bool { return n.Add(1) >= 5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spins != 4 {
+		t.Errorf("spins = %d, want 4", spins)
+	}
+}
+
+func TestWatchdogTrips(t *testing.T) {
+	cfg := Config{HotSpins: 1, YieldSpins: 1, SleepMin: 50 * time.Microsecond,
+		SleepMax: 100 * time.Microsecond, Watchdog: 2 * time.Millisecond}
+	_, err := Until(cfg, func() bool { return false })
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlineError", err)
+	}
+	if de.Waited < cfg.Watchdog || de.Spins == 0 {
+		t.Errorf("deadline error %+v inconsistent with %v watchdog", de, cfg.Watchdog)
+	}
+}
+
+func TestWatchdogDisabledByDefault(t *testing.T) {
+	// A satisfied-late wait under the default config must not error.
+	var n atomic.Int64
+	if _, err := Until(Defaults(), func() bool { return n.Add(1) > 300 }); err != nil {
+		t.Fatal(err)
+	}
+}
