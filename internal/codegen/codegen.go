@@ -89,17 +89,32 @@ func (r Result) Speedup() float64 { return r.Stats.Speedup(r.SerialCycles) }
 // Run executes the workload under the scheme on a machine with the given
 // configuration, checks serial equivalence, and returns the measurements.
 func Run(w *Workload, sch Scheme, cfg sim.Config) (Result, error) {
-	res, _, err := run(w, sch, cfg, false)
+	res, _, err := run(w, sch, cfg, false, false)
 	return res, err
 }
 
 // RunTraced is Run with event tracing enabled; it additionally returns the
 // recorded per-processor timeline.
 func RunTraced(w *Workload, sch Scheme, cfg sim.Config) (Result, []sim.TraceEvent, error) {
-	return run(w, sch, cfg, true)
+	res, m, err := run(w, sch, cfg, true, false)
+	if m == nil {
+		return res, nil, err
+	}
+	return res, m.Trace(), err
 }
 
-func run(w *Workload, sch Scheme, cfg sim.Config, trace bool) (Result, []sim.TraceEvent, error) {
+// RunSyncTraced is Run with synchronization-event recording enabled; it
+// additionally returns the machine's sync trace (signals, released waits and
+// memory accesses in causal order) for the dynamic happens-before checker.
+func RunSyncTraced(w *Workload, sch Scheme, cfg sim.Config) (Result, []sim.SyncEvent, error) {
+	res, m, err := run(w, sch, cfg, false, true)
+	if m == nil {
+		return res, nil, err
+	}
+	return res, m.SyncTraceEvents(), err
+}
+
+func run(w *Workload, sch Scheme, cfg sim.Config, trace, syncTrace bool) (Result, *sim.Machine, error) {
 	// Serial oracle on a private memory.
 	serialMem := sim.NewMem()
 	w.Setup(serialMem)
@@ -109,6 +124,9 @@ func run(w *Workload, sch Scheme, cfg sim.Config, trace bool) (Result, []sim.Tra
 	m := sim.New(cfg)
 	if trace {
 		m.EnableTrace()
+	}
+	if syncTrace {
+		m.EnableSyncTrace()
 	}
 	w.Setup(m.Mem())
 	prog, foot, err := sch.Instrument(m, w)
@@ -123,13 +141,15 @@ func run(w *Workload, sch Scheme, cfg sim.Config, trace bool) (Result, []sim.Tra
 	}
 	stats, err := m.RunLoop(iters, prog)
 	if err != nil {
-		return Result{}, nil, fmt.Errorf("codegen: %s on %s: %w", sch.Name(), w.Name, err)
+		// The machine still carries whatever trace it recorded before the
+		// failure; return it so the dynamic checker can examine the run.
+		return Result{}, m, fmt.Errorf("codegen: %s on %s: %w", sch.Name(), w.Name, err)
 	}
 	sch.Finalize(m.Mem())
 	if diff := serialMem.Diff(m.Mem()); diff != "" {
-		return Result{}, nil, fmt.Errorf("codegen: %s on %s violates serial equivalence:\n%s", sch.Name(), w.Name, diff)
+		return Result{}, m, fmt.Errorf("codegen: %s on %s violates serial equivalence:\n%s", sch.Name(), w.Name, diff)
 	}
-	return Result{Scheme: sch.Name(), Stats: stats, Foot: foot, SerialCycles: serialCycles}, m.Trace(), nil
+	return Result{Scheme: sch.Name(), Stats: stats, Foot: foot, SerialCycles: serialCycles}, m, nil
 }
 
 // serialProgram builds the pure-compute program bound to the given memory.
@@ -207,17 +227,44 @@ func writeRef(mem *sim.Mem, r deps.Ref, idx []int64, v int64) {
 // values become visible — the paper's requirement (1): a source may signal
 // only after its effect can be observed. The statement semantics run at the
 // end of the last op, so a scheme that published before the commit phase
-// would let a consumer read stale values and fail serial equivalence.
+// would let a consumer read stale values and fail serial equivalence. The
+// op carrying the semantics is stamped with the statement's concrete
+// element accesses for the happens-before race checkers.
 func computeOps(m *sim.Machine, w *Workload, idx []int64, s *deps.Stmt, locals map[string]int64) []sim.Op {
 	exec := w.execInPlace(m.Mem(), idx, s, locals)
 	lat := m.Config().DataLatency
 	if lat <= 0 || len(s.Writes) == 0 {
-		return []sim.Op{sim.Compute(w.cost(s, idx), exec, s.Name)}
+		op := sim.Compute(w.cost(s, idx), exec, s.Name)
+		op.Touch = stmtTouches(s, idx)
+		return []sim.Op{op}
 	}
+	op := sim.Compute(lat, exec, s.Name+":commit")
+	op.Touch = stmtTouches(s, idx)
 	return []sim.Op{
 		sim.Compute(w.cost(s, idx), nil, s.Name),
-		sim.Compute(lat, exec, s.Name+":commit"),
+		op,
 	}
+}
+
+// stmtTouches lists the concrete shared-memory elements one execution of
+// the statement accesses at the given iteration.
+func stmtTouches(s *deps.Stmt, idx []int64) []sim.MemAccess {
+	out := make([]sim.MemAccess, 0, len(s.Writes)+len(s.Reads))
+	for _, r := range s.Reads {
+		out = append(out, refTouch(r, idx, false, 0))
+	}
+	for _, w := range s.Writes {
+		out = append(out, refTouch(w, idx, true, 0))
+	}
+	return out
+}
+
+func refTouch(r deps.Ref, idx []int64, write bool, ver int64) sim.MemAccess {
+	a := sim.MemAccess{Array: r.Array, Dims: len(r.Index), Ver: ver, Write: write}
+	for d := 0; d < len(r.Index) && d < 2; d++ {
+		a.Coord[d] = r.Index[d].Eval(idx)
+	}
+	return a
 }
 
 // stmtPositions maps statements to their flattened body positions.

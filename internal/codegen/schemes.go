@@ -348,6 +348,10 @@ func NewInstanceBased() *InstanceBased { return &InstanceBased{} }
 // Name implements Scheme.
 func (*InstanceBased) Name() string { return "data(instance-based)" }
 
+// RenamedStorage reports that the scheme writes every value to a fresh
+// renamed location, making anti- and output dependences vacuous.
+func (*InstanceBased) RenamedStorage() bool { return true }
+
 // Instrument implements Scheme.
 func (ib *InstanceBased) Instrument(m *sim.Machine, w *Workload) (sim.Program, Footprint, error) {
 	plan := dataorient.BuildPlan(w.Nest)
@@ -397,13 +401,26 @@ func (ib *InstanceBased) Instrument(m *sim.Machine, w *Workload) (sim.Program, F
 					vs.Set(a.Elem, a.Epoch+1, out[k])
 				}
 			}
+			// Renamed storage is single-assignment: race checking sees each
+			// (element, version) as its own location, so the renaming's
+			// elimination of anti/output conflicts is visible to the checker.
+			touches := make([]sim.MemAccess, 0, len(readAccs)+len(writeAccs))
+			for _, a := range readAccs {
+				touches = append(touches, accessTouch(a.Elem, a.Epoch, false))
+			}
+			for _, a := range writeAccs {
+				touches = append(touches, accessTouch(a.Elem, a.Epoch+1, true))
+			}
 			if lat := m.Config().DataLatency; lat > 0 && len(writeAccs) > 0 {
 				// Renamed copies also take DataLatency to land before the
 				// full/empty bits may be set (requirement (1)).
-				ops = append(ops, sim.Compute(w.cost(s, idx), nil, s.Name),
-					sim.Compute(lat, exec, s.Name+":commit"))
+				commit := sim.Compute(lat, exec, s.Name+":commit")
+				commit.Touch = touches
+				ops = append(ops, sim.Compute(w.cost(s, idx), nil, s.Name), commit)
 			} else {
-				ops = append(ops, sim.Compute(w.cost(s, idx), exec, s.Name))
+				op := sim.Compute(w.cost(s, idx), exec, s.Name)
+				op.Touch = touches
+				ops = append(ops, op)
 			}
 			for _, a := range writeAccs {
 				ops = append(ops, bits.FillOps(a)...)
@@ -425,6 +442,16 @@ func (ib *InstanceBased) Finalize(mem *sim.Mem) {
 			writeElem(mem, e, v)
 		}
 	}
+}
+
+// accessTouch maps a planned data-oriented access onto a race-checker
+// location, version-qualified for renamed storage.
+func accessTouch(e dataorient.Elem, ver int64, write bool) sim.MemAccess {
+	a := sim.MemAccess{Array: e.Array, Dims: e.Dims, Ver: ver, Write: write}
+	for d := 0; d < e.Dims && d < 2; d++ {
+		a.Coord[d] = e.C[d]
+	}
+	return a
 }
 
 func readElem(mem *sim.Mem, e dataorient.Elem) int64 {

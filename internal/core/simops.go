@@ -74,8 +74,7 @@ func (s *SimPCs) WaitPC(iter, dist, step int64) sim.Op {
 func (s *SimPCs) MarkPC(iter, step int64) sim.Op {
 	want := PC{Owner: iter, Step: step}.Pack()
 	owned := PC{Owner: iter, Step: 0}.Pack()
-	return sim.WriteVarIf(s.slot(iter), want,
-		func(cur int64) bool { return cur >= owned },
+	return sim.WriteVarIfGE(s.slot(iter), want, owned,
 		fmt.Sprintf("mark_PC(%d) i=%d", step, iter))
 }
 

@@ -45,10 +45,12 @@ func (k *SimKeys) WaitTicketOp(e Elem, ticket int64) sim.Op {
 	return sim.WaitGE(k.vars[e], ticket, fmt.Sprintf("key:wait %s>=%d", e, ticket))
 }
 
-// IncOp increments the element's key after the access completes.
+// IncOp increments the element's key after the access completes. The access
+// executes only once the key has reached its ticket, so the post-increment
+// value is statically a.Ticket+1 — stamped for the static verifier.
 func (k *SimKeys) IncOp(a *Access) sim.Op {
-	return sim.RMW(k.vars[a.Elem], func(x int64) int64 { return x + 1 },
-		fmt.Sprintf("key:inc %s", a.Elem))
+	return sim.RMWPost(k.vars[a.Elem], func(x int64) int64 { return x + 1 },
+		a.Ticket+1, fmt.Sprintf("key:inc %s", a.Elem))
 }
 
 // SimBits places the instance-based full/empty bits: one per consumable

@@ -71,8 +71,20 @@ func TestTestdataProgramsUnderAllSchemes(t *testing.T) {
 }
 
 // FuzzParse: the parser must return errors, never panic, on arbitrary
-// input; accepted programs must produce a valid nest.
+// input; accepted programs must produce a valid nest. Seeded with every
+// shipped testdata program plus hand-picked near-miss inputs.
 func FuzzParse(f *testing.F) {
+	files, err := filepath.Glob("testdata/*.do")
+	if err != nil || len(files) == 0 {
+		f.Fatalf("no seed corpus: %v", err)
+	}
+	for _, fn := range files {
+		b, err := os.ReadFile(fn)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(b))
+	}
 	seeds := []string{
 		"DO I = 1, 9\n A[I] = A[I-1]\nEND DO",
 		"DO I = 1, 4\nDO J = 1, 4\n A[I,J] = A[I-1,J]\nEND DO\nEND DO",
@@ -93,6 +105,11 @@ func FuzzParse(f *testing.F) {
 		}
 		if w.Nest == nil || w.Nest.Iterations() < 1 {
 			t.Fatalf("accepted program with invalid nest: %q", src)
+		}
+		// Dependence analysis must accept any parsed nest without panicking
+		// (its cost depends on reference counts, not loop extents).
+		if g := w.Nest.Analyze(); g == nil {
+			t.Fatalf("Analyze returned nil graph for: %q", src)
 		}
 		// Setup must not panic either — but skip giant iteration spaces or
 		// subscripts, whose (legitimate) array allocation would stall the

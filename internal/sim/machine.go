@@ -102,6 +102,7 @@ type pending struct {
 }
 
 type syncVar struct {
+	id        VarID
 	name      string
 	res       Residence
 	module    int
@@ -237,6 +238,9 @@ type Machine struct {
 
 	tracing     bool
 	traceEvents []TraceEvent
+
+	syncTracing bool
+	syncTrace   []SyncEvent
 }
 
 // New builds a machine with the given configuration.
@@ -253,8 +257,9 @@ func (m *Machine) Mem() *Mem { return m.mem }
 // NewRegVar declares a synchronization-register variable (broadcast on the
 // sync bus) with the given initial value.
 func (m *Machine) NewRegVar(name string, init int64) VarID {
-	m.vars = append(m.vars, &syncVar{name: name, res: Register, committed: init})
-	return VarID(len(m.vars) - 1)
+	id := VarID(len(m.vars))
+	m.vars = append(m.vars, &syncVar{id: id, name: name, res: Register, committed: init})
+	return id
 }
 
 // NewMemVar declares a memory-resident synchronization variable in the
@@ -263,8 +268,9 @@ func (m *Machine) NewMemVar(name string, mod int, init int64) VarID {
 	if mod < 0 || mod >= m.cfg.Modules {
 		panic(fmt.Sprintf("sim: module %d out of range [0,%d)", mod, m.cfg.Modules))
 	}
-	m.vars = append(m.vars, &syncVar{name: name, res: Memory, module: mod, committed: init})
-	return VarID(len(m.vars) - 1)
+	id := VarID(len(m.vars))
+	m.vars = append(m.vars, &syncVar{id: id, name: name, res: Memory, module: mod, committed: init})
+	return id
 }
 
 // VarValue returns a variable's committed value (for post-run assertions).
@@ -442,14 +448,16 @@ func (m *Machine) step(p *proc) {
 				if op.Exec != nil {
 					op.Exec()
 				}
+				m.recordAccess(p, op)
 				continue
 			}
-			exec := op.Exec
+			exec, o := op.Exec, op
 			m.addTrace(p, m.now, m.now+op.Cycles, TraceCompute, op.Tag)
 			m.at(m.now+op.Cycles, func() {
 				if exec != nil {
 					exec()
 				}
+				m.recordAccess(p, o)
 				m.step(p)
 			})
 			return
@@ -457,6 +465,11 @@ func (m *Machine) step(p *proc) {
 		case OpWrite:
 			v := m.vars[op.Var]
 			m.syncOps++
+			// Signals are recorded at issue time: the writer's knowledge at
+			// the moment of the write is the happens-before point a released
+			// waiter inherits, and a local waiter may observe the write
+			// before its broadcast commits.
+			m.recordSync(SyncEvent{Proc: p.id, Iter: p.iter, Kind: SyncSignal, Var: v.id, Value: op.Value, Tag: op.Tag})
 			if v.res == Register {
 				m.busIssue(v, op.Value, p.id, op.Tag)
 				if op.Exec != nil {
@@ -497,6 +510,7 @@ func (m *Machine) step(p *proc) {
 			v := m.vars[op.Var]
 			m.syncOps++
 			if v.visibleTo(p.id) >= op.Value {
+				m.recordSync(SyncEvent{Proc: p.id, Iter: p.iter, Kind: SyncWaitDone, Var: v.id, Value: op.Value, Tag: op.Tag})
 				if op.Exec != nil {
 					op.Exec()
 				}
@@ -526,6 +540,7 @@ func (m *Machine) step(p *proc) {
 				panic(fmt.Sprintf("sim: conditional write on memory variable %s", v.name))
 			}
 			if op.Cond(v.visibleTo(p.id)) {
+				m.recordSync(SyncEvent{Proc: p.id, Iter: p.iter, Kind: SyncSignal, Var: v.id, Value: op.Value, Tag: op.Tag})
 				m.busIssue(v, op.Value, p.id, op.Tag)
 			}
 			if op.Exec != nil {
@@ -545,7 +560,7 @@ func (m *Machine) step(p *proc) {
 			if v.res != Memory {
 				panic(fmt.Sprintf("sim: RMW on register variable %s", v.name))
 			}
-			apply, exec := op.Apply, op.Exec
+			apply, exec, tag := op.Apply, op.Exec, op.Tag
 			_, end := m.mods[v.module].enqueue(m.now, m.cfg.MemLatency)
 			m.addTrace(p, m.now, end, TraceService, op.Tag)
 			p.waitMem += end - m.now
@@ -556,6 +571,7 @@ func (m *Machine) step(p *proc) {
 			m.at(end, func() {
 				mod.jobs--
 				v.committed = apply(v.committed)
+				m.recordSync(SyncEvent{Proc: p.id, Iter: p.iter, Kind: SyncSignal, Var: v.id, Value: v.committed, Tag: tag})
 				m.wake(v)
 				if exec != nil {
 					exec()
@@ -582,6 +598,7 @@ func (m *Machine) poll(p *proc, v *syncVar, op *Op) {
 		if v.committed >= min {
 			p.waitSync += m.now - p.blockedSince
 			m.addTrace(p, p.blockedSince, m.now, TraceWait, tag)
+			m.recordSync(SyncEvent{Proc: p.id, Iter: p.iter, Kind: SyncWaitDone, Var: v.id, Value: min, Tag: tag})
 			if exec != nil {
 				exec()
 			}
@@ -604,6 +621,7 @@ func (m *Machine) wake(v *syncVar) {
 			w := w
 			w.p.waitSync += m.now - w.p.blockedSince
 			m.addTrace(w.p, w.p.blockedSince, m.now, TraceWait, w.tag)
+			m.recordSync(SyncEvent{Proc: w.p.id, Iter: w.p.iter, Kind: SyncWaitDone, Var: v.id, Value: w.min, Tag: w.tag})
 			w.p.ip++
 			m.at(m.now, func() { m.step(w.p) })
 		} else {

@@ -47,6 +47,30 @@ const (
 	OpWriteIf
 )
 
+// MemAccess names one shared-memory element an op touches, for race
+// checking: the array, its coordinates, and whether the access writes.
+// Ver distinguishes renamed single-assignment versions (instance-based
+// storage); in-place schemes leave it 0.
+type MemAccess struct {
+	Array string
+	Coord [2]int64
+	Dims  int
+	Ver   int64
+	Write bool
+}
+
+func (a MemAccess) String() string {
+	s := fmt.Sprintf("%s[%d", a.Array, a.Coord[0])
+	if a.Dims == 2 {
+		s += fmt.Sprintf(",%d", a.Coord[1])
+	}
+	s += "]"
+	if a.Ver != 0 {
+		s += fmt.Sprintf(".v%d", a.Ver)
+	}
+	return s
+}
+
 // Op is one step of a process program.
 type Op struct {
 	Kind   OpKind
@@ -57,6 +81,22 @@ type Op struct {
 	Cond   func(int64) bool  // OpWriteIf guard over the visible value
 	Exec   func()            // semantics, run at completion (any kind)
 	Tag    string            // for traces and error messages
+
+	// Touch lists the shared-memory elements whose accesses take effect
+	// when Exec runs, for the happens-before race checkers. Optional.
+	Touch []MemAccess
+	// Post is the synchronization variable's value after this op completes,
+	// as guaranteed by the scheme's protocol. OpWrite implies Post == Value;
+	// OpRMW builders whose protocol serializes updates (e.g. ticketed key
+	// increments) stamp it explicitly so static analysis can model them.
+	// Valid iff HasPost.
+	Post    int64
+	HasPost bool
+	// CondGE mirrors an OpWriteIf guard of the form "visible value >= CondGE"
+	// (valid iff HasCondGE), so static analysis knows what the write's firing
+	// implies. WriteVarIfGE sets it.
+	CondGE    int64
+	HasCondGE bool
 }
 
 func (o Op) String() string {
@@ -102,10 +142,27 @@ func RMW(v VarID, apply func(int64) int64, tag string) Op {
 	return Op{Kind: OpRMW, Var: v, Apply: apply, Tag: tag}
 }
 
+// RMWPost is RMW for protocols that serialize updates, stamping the value
+// the variable is guaranteed to hold once the op completes (e.g. a ticketed
+// increment performed only after the key reached the ticket). The stamp
+// lets static verification model the op without executing it.
+func RMWPost(v VarID, apply func(int64) int64, post int64, tag string) Op {
+	return Op{Kind: OpRMW, Var: v, Apply: apply, Post: post, HasPost: true, Tag: tag}
+}
+
 // WriteVarIf returns a conditional register write: value is posted only when
 // cond holds for the locally visible value at issue time.
 func WriteVarIf(v VarID, value int64, cond func(int64) bool, tag string) Op {
 	return Op{Kind: OpWriteIf, Var: v, Value: value, Cond: cond, Tag: tag}
+}
+
+// WriteVarIfGE is WriteVarIf with the guard "visible value >= min", declared
+// structurally so static verification can reason about what a fired write
+// implies (the improved mark_PC fires only once ownership has arrived).
+func WriteVarIfGE(v VarID, value, min int64, tag string) Op {
+	return Op{Kind: OpWriteIf, Var: v, Value: value,
+		Cond:   func(cur int64) bool { return cur >= min },
+		CondGE: min, HasCondGE: true, Tag: tag}
 }
 
 // Program yields the op sequence of one process (iteration). Iterations are

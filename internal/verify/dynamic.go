@@ -1,0 +1,211 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/csrd-repro/datasync/internal/sim"
+)
+
+// DynRace is one dynamically detected race: two conflicting accesses to the
+// same location, unordered by the happens-before relation of the observed
+// execution.
+type DynRace struct {
+	Loc string `json:"loc"` // element, e.g. "A[7]" (".v2" for renamed copies)
+
+	PrevIter  int64  `json:"prev_iter"`
+	PrevStmt  string `json:"prev_stmt"`
+	PrevWrite bool   `json:"prev_write"`
+
+	Iter  int64  `json:"iter"`
+	Stmt  string `json:"stmt"`
+	Write bool   `json:"write"`
+
+	Time int64 `json:"time"` // cycle of the second access
+}
+
+func (r DynRace) String() string {
+	return fmt.Sprintf("%s: %s of %s (iter %d) unordered with %s of %s (iter %d) at cycle %d",
+		r.Loc, rw(r.PrevWrite), r.PrevStmt, r.PrevIter, rw(r.Write), r.Stmt, r.Iter, r.Time)
+}
+
+func rw(w bool) string {
+	if w {
+		return "write"
+	}
+	return "read"
+}
+
+// DynReport is the result of replaying one synchronization trace.
+type DynReport struct {
+	Events    int `json:"events"`
+	Signals   int `json:"signals"`
+	WaitsDone int `json:"waits_done"`
+	Accesses  int `json:"accesses"`
+
+	Races   []DynRace `json:"races"`
+	Dropped int       `json:"dropped,omitempty"` // races beyond the report cap
+}
+
+// OK reports whether the execution was race-free.
+func (r *DynReport) OK() bool { return len(r.Races) == 0 }
+
+func (r *DynReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events (%d signals, %d waits, %d accesses)\n",
+		r.Events, r.Signals, r.WaitsDone, r.Accesses)
+	if r.OK() {
+		b.WriteString("PASS: no conflicting accesses unordered by happens-before\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "FAIL: %d race(s)\n", len(r.Races))
+	for _, rc := range r.Races {
+		fmt.Fprintf(&b, "  [race] %s\n", rc)
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "  ... %d further race pair(s) suppressed\n", r.Dropped)
+	}
+	return b.String()
+}
+
+// maxDynRaces caps the distinct race pairs a report carries; replay still
+// scans the whole trace and counts the overflow in Dropped.
+const maxDynRaces = 100
+
+type locKey struct {
+	arr    string
+	c0, c1 int64
+	dims   int
+	ver    int64
+}
+
+func (k locKey) String() string {
+	a := sim.MemAccess{Array: k.arr, Coord: [2]int64{k.c0, k.c1}, Dims: k.dims, Ver: k.ver}
+	return a.String()
+}
+
+type lastAccess struct {
+	iter int64
+	ep   int64
+	stmt string
+}
+
+// locState is FastTrack-style per-location metadata: the last write epoch
+// plus the last read epoch per iteration since that write.
+type locState struct {
+	hasW  bool
+	write lastAccess
+	reads map[int64]lastAccess
+}
+
+// Dynamic replays a machine synchronization trace with vector clocks and
+// reports conflicting shared-memory accesses unordered by happens-before.
+// Iterations are the threads; a signal publishes the writer's clock into
+// the variable's accumulated release clock, and a completed wait acquires
+// it. The trace is causally ordered (see sim.EnableSyncTrace), so a single
+// forward pass suffices.
+//
+// Races are detected on the observed execution's synchronization order:
+// an execution may produce serially equivalent memory contents and still
+// race — the detector flags it regardless of outcome, which is what makes
+// the check stronger than the simulator's serial-equivalence oracle.
+func Dynamic(events []sim.SyncEvent) *DynReport {
+	rep := &DynReport{Events: len(events)}
+	clock := make(map[int64]map[int64]int64)        // iter -> acquired clock
+	epoch := make(map[int64]int64)                  // iter -> own access epoch
+	varClock := make(map[sim.VarID]map[int64]int64) // accumulated release clock
+	locs := make(map[locKey]*locState)
+	seen := make(map[string]bool) // race dedup by location + iteration pair
+
+	cOf := func(i int64) map[int64]int64 {
+		m := clock[i]
+		if m == nil {
+			m = make(map[int64]int64)
+			clock[i] = m
+		}
+		return m
+	}
+	ordered := func(i int64, a lastAccess) bool {
+		if a.iter == i {
+			return true
+		}
+		return cOf(i)[a.iter] >= a.ep
+	}
+	report := func(e *sim.SyncEvent, k locKey, prev lastAccess, prevWrite, write bool) {
+		key := fmt.Sprintf("%v|%d|%d", k, prev.iter, e.Iter)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if len(rep.Races) >= maxDynRaces {
+			rep.Dropped++
+			return
+		}
+		rep.Races = append(rep.Races, DynRace{
+			Loc:      k.String(),
+			PrevIter: prev.iter, PrevStmt: prev.stmt, PrevWrite: prevWrite,
+			Iter: e.Iter, Stmt: strings.TrimSuffix(e.Tag, ":commit"), Write: write,
+			Time: e.Time,
+		})
+	}
+
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case sim.SyncSignal:
+			rep.Signals++
+			l := varClock[e.Var]
+			if l == nil {
+				l = make(map[int64]int64)
+				varClock[e.Var] = l
+			}
+			for j, v := range cOf(e.Iter) {
+				if v > l[j] {
+					l[j] = v
+				}
+			}
+			if ep := epoch[e.Iter]; ep > l[e.Iter] {
+				l[e.Iter] = ep
+			}
+		case sim.SyncWaitDone:
+			rep.WaitsDone++
+			ci := cOf(e.Iter)
+			for j, v := range varClock[e.Var] {
+				if j != e.Iter && v > ci[j] {
+					ci[j] = v
+				}
+			}
+		case sim.SyncAccess:
+			for _, a := range e.Acc {
+				rep.Accesses++
+				epoch[e.Iter]++
+				k := locKey{arr: a.Array, c0: a.Coord[0], c1: a.Coord[1], dims: a.Dims, ver: a.Ver}
+				st := locs[k]
+				if st == nil {
+					st = &locState{reads: make(map[int64]lastAccess)}
+					locs[k] = st
+				}
+				cur := lastAccess{iter: e.Iter, ep: epoch[e.Iter], stmt: strings.TrimSuffix(e.Tag, ":commit")}
+				if a.Write {
+					if st.hasW && !ordered(e.Iter, st.write) {
+						report(e, k, st.write, true, true)
+					}
+					for _, r := range st.reads {
+						if !ordered(e.Iter, r) {
+							report(e, k, r, false, true)
+						}
+					}
+					st.hasW = true
+					st.write = cur
+					st.reads = make(map[int64]lastAccess)
+				} else {
+					if st.hasW && !ordered(e.Iter, st.write) {
+						report(e, k, st.write, true, false)
+					}
+					st.reads[e.Iter] = cur
+				}
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,708 @@
+package verify
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+
+	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/deps"
+)
+
+// Static verifies a synchronization program against its nest's dependence
+// set. It materializes the per-iteration programs, builds the
+// happens-before graph (program order within an iteration, plus a release
+// edge from each wait's releasing signal(s) to the wait), topologically
+// sorts it (failure = deadlock certificate), computes a vector clock per
+// node, and checks every realizable dependence-arc instance pair against
+// the clocks. See the package comment for the soundness obligations that
+// are checked along the way.
+func Static(sp *codegen.SyncProgram, opt Options) *Report {
+	rep := &Report{Workload: sp.Workload.Name, Scheme: sp.Scheme, Iterations: sp.Iters}
+	w := sp.Iters
+	if mx := opt.maxIters(); w > mx {
+		w = mx
+		rep.Truncated = true
+	}
+	rep.Analyzed = w
+
+	c := &checker{sp: sp, rep: rep, w: w, findIdx: make(map[string]int),
+		sigs: make(map[int][]sigRec), vinfo: make(map[int]*varInfo),
+		relOf: make(map[int][]sigRec), relSucc: make(map[int][]int),
+		sites: make(map[string]*siteStat)}
+	c.materialize()
+	c.classifyVars()
+	c.buildReleases()
+	if !c.sortAndClock() {
+		return rep // cycle: clock-dependent checks are meaningless
+	}
+	c.checkObligations()
+	c.checkChains()
+	c.checkArcs()
+	c.reportRedundant()
+	return rep
+}
+
+// sigRec is one signal on a variable: node id, producing iteration,
+// position within the iteration, and the signalled value.
+type sigRec struct {
+	id       int
+	iter     int64
+	k        int
+	val      int64
+	cond     bool
+	guard    int64
+	hasGuard bool
+}
+
+type waitRec struct {
+	id   int
+	iter int64
+	k    int
+	v    int
+	t    int64
+}
+
+type varInfo struct {
+	plain, accum, opaque bool
+	bad                  bool // excluded from edge construction (reported)
+}
+
+type siteStat struct {
+	total, redundant int
+	sample           string
+}
+
+// obligation: the conditional releaser r must be in the past of fallback
+// candidate cand, else a non-firing conditional leaves the wait unsound.
+type obligation struct {
+	v    int
+	r    sigRec
+	cand sigRec
+}
+
+type checker struct {
+	sp  *codegen.SyncProgram
+	rep *Report
+	w   int64 // analyzed iterations
+
+	evs      [][]codegen.SyncOp
+	base     []int // node-id offset per iteration; base[i+1]-base[i] ops
+	total    int
+	iterOf   []int64
+	kOf      []int32
+	retain   []bool  // clock kept after processing (signal/stmt nodes)
+	stmtNode [][]int // [iter][stmtPos] -> node id, -1 when not executed
+
+	sigs    map[int][]sigRec
+	waits   []waitRec
+	vinfo   map[int]*varInfo
+	relOf   map[int][]sigRec // wait node -> releasing signals
+	relSucc map[int][]int    // signal node -> released wait nodes
+
+	obls    []obligation
+	oblSeen map[[2]int]bool
+
+	clocks []map[int64]int32
+
+	sites   map[string]*siteStat
+	findIdx map[string]int // finding dedup key -> index in rep.Findings
+}
+
+func (c *checker) vname(v int) string { return c.sp.VarNames[v] }
+
+func (c *checker) tagOf(id int) string {
+	op := c.evs[c.iterOf[id]][c.kOf[id]]
+	if op.Tag != "" {
+		return op.Tag
+	}
+	return op.Kind.String()
+}
+
+// addHard appends a hard finding, deduplicating by key: repeated instances
+// of the same defect (one per iteration) fold into a count.
+func (c *checker) addHard(key string, f Finding) {
+	if i, ok := c.findIdx[key]; ok {
+		c.rep.Findings[i].Pairs++
+		return
+	}
+	f.Pairs = 1
+	c.findIdx[key] = len(c.rep.Findings)
+	c.rep.Findings = append(c.rep.Findings, f)
+}
+
+func (c *checker) materialize() {
+	nStmts := len(c.sp.Workload.Nest.Stmts())
+	c.evs = make([][]codegen.SyncOp, c.w+1)
+	c.base = make([]int, c.w+2)
+	for i := int64(1); i <= c.w; i++ {
+		c.evs[i] = c.sp.At(i)
+		c.base[i+1] = c.base[i] + len(c.evs[i])
+	}
+	c.total = c.base[c.w+1]
+	c.rep.Nodes = c.total
+	c.iterOf = make([]int64, c.total)
+	c.kOf = make([]int32, c.total)
+	c.retain = make([]bool, c.total)
+	c.stmtNode = make([][]int, c.w+1)
+	for i := int64(1); i <= c.w; i++ {
+		row := make([]int, nStmts)
+		for s := range row {
+			row[s] = -1
+		}
+		c.stmtNode[i] = row
+		for k, op := range c.evs[i] {
+			id := c.base[i] + k
+			c.iterOf[id] = i
+			c.kOf[id] = int32(k)
+			switch op.Kind {
+			case codegen.SyncStmt:
+				row[op.Stmt] = id
+				c.retain[id] = true
+			case codegen.SyncSignal:
+				c.rep.Signals++
+				c.retain[id] = true
+				c.sigs[op.Var] = append(c.sigs[op.Var], sigRec{
+					id: id, iter: i, k: k, val: op.Value,
+					cond: op.Conditional, guard: op.Guard, hasGuard: op.HasGuard})
+				vi := c.info(op.Var)
+				if op.Accum {
+					vi.accum = true
+				} else {
+					vi.plain = true
+				}
+			case codegen.SyncWait:
+				c.rep.Waits++
+				c.waits = append(c.waits, waitRec{id: id, iter: i, k: k, v: op.Var, t: op.Value})
+			case codegen.SyncOpaque:
+				c.info(op.Var).opaque = true
+			}
+		}
+	}
+}
+
+func (c *checker) info(v int) *varInfo {
+	vi := c.vinfo[v]
+	if vi == nil {
+		vi = &varInfo{}
+		c.vinfo[v] = vi
+	}
+	return vi
+}
+
+func (c *checker) classifyVars() {
+	for _, ss := range c.sigs {
+		ss := ss
+		sort.Slice(ss, func(a, b int) bool {
+			if ss[a].val != ss[b].val {
+				return ss[a].val < ss[b].val
+			}
+			if ss[a].iter != ss[b].iter {
+				return ss[a].iter < ss[b].iter
+			}
+			return ss[a].k < ss[b].k
+		})
+	}
+	for v, vi := range c.vinfo {
+		switch {
+		case vi.opaque:
+			vi.bad = true
+			c.addHard(fmt.Sprintf("opaque|%d", v), Finding{
+				Class: Unanalyzable, Var: c.vname(v),
+				Summary: fmt.Sprintf("variable %s is updated by an atomic op without a protocol-guaranteed value; waits on it cannot be verified", c.vname(v)),
+			})
+		case vi.plain && vi.accum:
+			vi.bad = true
+			c.addHard(fmt.Sprintf("mixed|%d", v), Finding{
+				Class: Unanalyzable, Var: c.vname(v),
+				Summary: fmt.Sprintf("variable %s mixes plain writes and atomic increments; release semantics are undefined", c.vname(v)),
+			})
+		case vi.plain:
+			ss := c.sigs[v]
+			for j := 0; j+1 < len(ss); j++ {
+				if ss[j].val == ss[j+1].val && ss[j].iter != ss[j+1].iter {
+					vi.bad = true
+					c.addHard(fmt.Sprintf("ambig|%d", v), Finding{
+						Class: AmbiguousSignals, Var: c.vname(v),
+						Summary: fmt.Sprintf("iterations %d and %d both signal %s=%d; wait releasers are not statically determined",
+							ss[j].iter, ss[j+1].iter, c.vname(v), ss[j].val),
+						Detail: fmt.Sprintf("%s / %s", c.tagOf(ss[j].id), c.tagOf(ss[j+1].id)),
+					})
+					break
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) buildReleases() {
+	c.oblSeen = make(map[[2]int]bool)
+	for _, w := range c.waits {
+		vi := c.info(w.v)
+		if vi.bad {
+			continue
+		}
+		init := c.sp.VarInit[w.v]
+		ss := c.sigs[w.v]
+		var rels []sigRec
+		if vi.accum {
+			// Counting semantics: the key counts completed increments, so
+			// reaching t requires the t-init increments whose protocol
+			// values are <= t — all of them, collectively.
+			need := w.t - init
+			if need <= 0 {
+				continue // pre-satisfied
+			}
+			cnt := sort.Search(len(ss), func(i int) bool { return ss[i].val > w.t })
+			if int64(cnt) < need {
+				c.addHard(fmt.Sprintf("unrel|%d|%s", w.v, site(c.tagOf(w.id))), Finding{
+					Class: UnreleasableWait, Var: c.vname(w.v),
+					Summary: fmt.Sprintf("wait %s needs %d increments of %s but the program performs only %d at or below the threshold",
+						c.tagOf(w.id), need, c.vname(w.v), cnt),
+				})
+				continue
+			}
+			if int64(cnt) > need {
+				c.addHard(fmt.Sprintf("overcnt|%d|%s", w.v, site(c.tagOf(w.id))), Finding{
+					Class: Unanalyzable, Var: c.vname(w.v),
+					Summary: fmt.Sprintf("wait %s: %d increments can reach threshold %d of %s; which %d complete first is not determined",
+						c.tagOf(w.id), cnt, w.t, c.vname(w.v), need),
+				})
+				continue
+			}
+			rels = ss[:cnt]
+		} else {
+			if init >= w.t {
+				continue // pre-satisfied by the initial value
+			}
+			lo := sort.Search(len(ss), func(i int) bool { return ss[i].val >= w.t })
+			if lo == len(ss) {
+				c.addHard(fmt.Sprintf("unrel|%d|%s", w.v, site(c.tagOf(w.id))), Finding{
+					Class: UnreleasableWait, Var: c.vname(w.v),
+					Summary: fmt.Sprintf("no signal on %s ever reaches %d required by %s",
+						c.vname(w.v), w.t, c.tagOf(w.id)),
+				})
+				continue
+			}
+			r := ss[lo]
+			if r.cond {
+				// The minimal candidate may not fire. Sound release still
+				// holds if every later candidate through the first
+				// unconditional one has r in its past: whichever signal
+				// actually releases the wait then carries r's effects.
+				j := lo + 1
+				for j < len(ss) && ss[j].cond {
+					j++
+				}
+				if j == len(ss) {
+					c.addHard(fmt.Sprintf("condonly|%d|%s", w.v, site(c.tagOf(w.id))), Finding{
+						Class: UnreleasableWait, Var: c.vname(w.v),
+						Summary: fmt.Sprintf("wait %s can be released only by conditional signals that may never fire", c.tagOf(w.id)),
+					})
+					continue
+				}
+				if !c.oblSeen[[2]int{w.v, lo}] {
+					c.oblSeen[[2]int{w.v, lo}] = true
+					for m := lo + 1; m <= j; m++ {
+						c.obls = append(c.obls, obligation{v: w.v, r: r, cand: ss[m]})
+					}
+				}
+			}
+			rels = ss[lo : lo+1]
+		}
+		c.relOf[w.id] = rels
+		for _, r := range rels {
+			c.relSucc[r.id] = append(c.relSucc[r.id], w.id)
+		}
+	}
+}
+
+// sortAndClock runs Kahn's algorithm over program-order and release edges,
+// computing each node's vector clock as it is popped. Returns false (with a
+// deadlock finding) if the graph has a cycle.
+func (c *checker) sortAndClock() bool {
+	indeg := make([]int32, c.total)
+	for id := 0; id < c.total; id++ {
+		if c.kOf[id] > 0 {
+			indeg[id]++
+		}
+		indeg[id] += int32(len(c.relOf[id]))
+	}
+	queue := make([]int, 0, c.total)
+	for id := 0; id < c.total; id++ {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	c.clocks = make([]map[int64]int32, c.total)
+	done := make([]bool, c.total)
+	processed := 0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done[id] = true
+		processed++
+
+		var cl map[int64]int32
+		if c.kOf[id] == 0 {
+			cl = make(map[int64]int32, 4)
+		} else if pred := id - 1; c.retain[pred] {
+			cl = make(map[int64]int32, len(c.clocks[pred])+2)
+			for i, k := range c.clocks[pred] {
+				cl[i] = k
+			}
+		} else {
+			// A wait's clock has exactly one consumer (its program
+			// successor): steal it instead of copying.
+			cl = c.clocks[pred]
+			c.clocks[pred] = nil
+		}
+		if rels := c.relOf[id]; len(rels) > 0 {
+			redundant := true
+			for _, r := range rels {
+				if cl[r.iter] <= int32(r.k) {
+					redundant = false
+					break
+				}
+			}
+			c.tallySite(id, redundant)
+			for _, r := range rels {
+				for i, k := range c.clocks[r.id] {
+					if k > cl[i] {
+						cl[i] = k
+					}
+				}
+			}
+		}
+		// Clock entries count ordered prefix nodes (kOf+1), so a missing
+		// entry (0) means "nothing of that iteration is ordered before" —
+		// including its first node.
+		if it := c.iterOf[id]; c.kOf[id]+1 > cl[it] {
+			cl[it] = c.kOf[id] + 1
+		}
+		c.clocks[id] = cl
+
+		if next := id + 1; next < c.base[c.iterOf[id]+1] {
+			if indeg[next]--; indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+		for _, s := range c.relSucc[id] {
+			if indeg[s]--; indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if processed == c.total {
+		return true
+	}
+	c.reportCycle(done)
+	return false
+}
+
+// reportCycle extracts one wait-for cycle from the unprocessed residue as a
+// deadlock certificate: walk predecessors (which must themselves be
+// unprocessed) until a node repeats.
+func (c *checker) reportCycle(done []bool) {
+	start := -1
+	for id := 0; id < c.total; id++ {
+		if !done[id] {
+			start = id
+			break
+		}
+	}
+	pos := make(map[int]int)
+	var path []int
+	cur := start
+	for {
+		if p, ok := pos[cur]; ok {
+			path = path[p:]
+			break
+		}
+		pos[cur] = len(path)
+		path = append(path, cur)
+		next := -1
+		if c.kOf[cur] > 0 && !done[cur-1] {
+			next = cur - 1
+		} else {
+			for _, r := range c.relOf[cur] {
+				if !done[r.id] {
+					next = r.id
+					break
+				}
+			}
+		}
+		cur = next // an unprocessed node always has an unprocessed predecessor
+	}
+	// path follows predecessor links; reverse for wait-for order.
+	cycle := make([]string, 0, len(path)+1)
+	for i := len(path) - 1; i >= 0; i-- {
+		id := path[i]
+		cycle = append(cycle, fmt.Sprintf("iter %d: %s", c.iterOf[id], c.tagOf(id)))
+		if len(cycle) == 24 && i > 0 {
+			cycle = append(cycle, fmt.Sprintf("... (%d more)", i))
+			break
+		}
+	}
+	c.rep.Findings = append(c.rep.Findings, Finding{
+		Class:   Deadlock,
+		Summary: fmt.Sprintf("wait-for cycle over %d synchronization operations", len(path)),
+		Cycle:   cycle,
+	})
+}
+
+func (c *checker) checkObligations() {
+	for _, o := range c.obls {
+		if c.clocks[o.cand.id][o.r.iter] > int32(o.r.k) {
+			continue
+		}
+		c.addHard(fmt.Sprintf("unsound|%d|%d", o.v, o.r.id), Finding{
+			Class: UnsoundRelease, Var: c.vname(o.v),
+			Summary: fmt.Sprintf("conditional signal %s (iter %d) may not fire, and fallback releaser %s (iter %d) does not carry its effects",
+				c.tagOf(o.r.id), o.r.iter, c.tagOf(o.cand.id), o.cand.iter),
+		})
+	}
+}
+
+// checkChains verifies the serialized-writer discipline the release rule
+// relies on: consecutive signal values on a plain variable must be
+// happens-before ordered (or the later one's firing guard must already
+// imply the earlier value is visible).
+func (c *checker) checkChains() {
+	for v, ss := range c.sigs {
+		if vi := c.info(v); vi.bad || vi.accum {
+			continue
+		}
+		for j := 0; j+1 < len(ss); j++ {
+			a, b := ss[j], ss[j+1]
+			if a.val == b.val {
+				continue // same iteration (cross-iteration dups already reported)
+			}
+			if a.iter == b.iter && a.k < b.k {
+				continue
+			}
+			if b.hasGuard && b.guard >= a.val {
+				continue // b fires only once a value >= a.val is visible
+			}
+			if c.clocks[b.id][a.iter] > int32(a.k) {
+				continue
+			}
+			c.addHard(fmt.Sprintf("chain|%d", v), Finding{
+				Class: UnserializedSignals, Var: c.vname(v),
+				Summary: fmt.Sprintf("signals %s=%d (iter %d) and %s=%d (iter %d) are not happens-before ordered; release order on %s is undefined",
+					c.vname(v), a.val, a.iter, c.vname(v), b.val, b.iter, c.vname(v)),
+				Detail: fmt.Sprintf("%s / %s", c.tagOf(a.id), c.tagOf(b.id)),
+			})
+			break
+		}
+	}
+}
+
+// checkArcs verifies the nest's enforced dependence set against the
+// happens-before clocks. Instances are enumerated from the depth-k graph,
+// not the linearized one: coalescing conservatively adds boundary "extra
+// dependences" (dashed in Fig 5.2c) that distance-based schemes enforce
+// for free but element-based data-oriented schemes correctly do not — those
+// pairs are no true dependence and must not be demanded of any scheme.
+func (c *checker) checkArcs() {
+	nest := c.sp.Workload.Nest
+	g := nest.Analyze()
+	stmts := g.Stmts
+	for _, a := range g.UnknownArcs() {
+		c.addHard(fmt.Sprintf("unk|%d|%d", a.Src, a.Dst), Finding{
+			Class: Unanalyzable,
+			Arc:   fmt.Sprintf("%s -%s(?)-> %s", stmts[a.Src].Name, a.Kind, stmts[a.Dst].Name),
+			Summary: fmt.Sprintf("arc %s -%s-> %s has no compile-time distance and cannot be statically verified",
+				stmts[a.Src].Name, a.Kind, stmts[a.Dst].Name),
+		})
+	}
+	seenCross := make(map[string]bool)
+	for _, a := range g.Arcs {
+		if !a.Known || a.LoopIndep {
+			continue
+		}
+		if c.sp.Renamed && a.Kind != deps.Flow {
+			continue // single-assignment storage: anti/output are vacuous
+		}
+		arcStr := fmt.Sprintf("%s -%s(%s)-> %s", stmts[a.Src].Name, a.Kind, distStr(a.Dist), stmts[a.Dst].Name)
+		key := fmt.Sprintf("%d|%d|%v", a.Src, a.Dst, a.Dist)
+		if seenCross[key] {
+			continue
+		}
+		seenCross[key] = true
+		c.rep.Arcs++
+		var fails int64
+		var wSrc, wDst int64
+		for i := int64(1); i <= c.w; i++ {
+			srcIdx := nest.IndexOf(i)
+			idx := nest.IndexOf(i)
+			ok := true
+			for l, d := range a.Dist {
+				idx[l] += d
+				if idx[l] < nest.Indexes[l].Lo || idx[l] > nest.Indexes[l].Hi {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue // the sink falls outside the iteration space
+			}
+			j := nest.LpidOf(idx)
+			if j > c.w {
+				continue // beyond the (possibly truncated) window
+			}
+			sn := c.stmtNode[i][a.Src]
+			dn := c.stmtNode[j][a.Dst]
+			if sn < 0 || dn < 0 {
+				continue // a branch skipped one endpoint: no instance
+			}
+			c.rep.PairsChecked++
+			if c.clocks[dn][i] > c.kOf[sn] {
+				continue
+			}
+			if c.sp.Renamed && c.flowKilled(g, a, i, j, srcIdx) {
+				continue // the sink reads a later renamed version, not this write
+			}
+			if fails == 0 {
+				wSrc, wDst = i, j
+			}
+			fails++
+		}
+		if fails > 0 {
+			c.rep.Findings = append(c.rep.Findings, Finding{
+				Class: Race, Arc: arcStr, Pairs: fails,
+				SrcIter: nest.IndexOf(wSrc), DstIter: nest.IndexOf(wDst),
+				Summary: fmt.Sprintf("dependence %s is not enforced: iteration %v's %s is unordered with iteration %v's %s (%d instance pairs)",
+					arcStr, nest.IndexOf(wSrc), stmts[a.Src].Name, nest.IndexOf(wDst), stmts[a.Dst].Name, fails),
+			})
+		}
+	}
+	// Loop-independent arcs need body order within each iteration.
+	seen := make(map[[2]int]bool)
+	for _, a := range g.Arcs {
+		if !a.Known || !a.LoopIndep || a.Src == a.Dst || seen[[2]int{a.Src, a.Dst}] {
+			continue
+		}
+		seen[[2]int{a.Src, a.Dst}] = true
+		for i := int64(1); i <= c.w; i++ {
+			sn := c.stmtNode[i][a.Src]
+			dn := c.stmtNode[i][a.Dst]
+			if sn < 0 || dn < 0 || c.kOf[sn] < c.kOf[dn] {
+				continue
+			}
+			c.addHard(fmt.Sprintf("li|%d|%d", a.Src, a.Dst), Finding{
+				Class: Race,
+				Arc:   fmt.Sprintf("%s -%s(0)-> %s", stmts[a.Src].Name, a.Kind, stmts[a.Dst].Name),
+				Summary: fmt.Sprintf("loop-independent dependence %s -> %s violated: iteration %v executes them out of body order",
+					stmts[a.Src].Name, stmts[a.Dst].Name, nest.IndexOf(i)),
+				SrcIter: nest.IndexOf(i), DstIter: nest.IndexOf(i),
+			})
+			break
+		}
+	}
+}
+
+// flowKilled reports whether the flow-arc instance (src iteration i, sink
+// iteration j) is superseded by another write to the same element strictly
+// between the two accesses in serial order. Pairwise dependence analysis
+// keeps such stale arcs (it has no kill analysis), and shared-storage
+// schemes satisfy them transitively through the covering output arc; but
+// under renamed single-assignment storage the sink reads the killing
+// write's fresh version, so the stale write-to-read pair needs no ordering
+// at all. Control flow is data-independent, so "the kill executes" is a
+// static fact (stmtNode), not an approximation.
+func (c *checker) flowKilled(g *deps.Graph, a deps.Arc, i, j int64, srcIdx []int64) bool {
+	nest := c.sp.Workload.Nest
+	elem := make([]int64, len(a.SrcRef.Index))
+	for l, ix := range a.SrcRef.Index {
+		elem[l] = ix.Eval(srcIdx)
+	}
+	for m := i; m <= j; m++ {
+		mIdx := nest.IndexOf(m)
+		for p, st := range g.Stmts {
+			if c.stmtNode[m][p] < 0 {
+				continue // branch skipped: the would-be kill never executes
+			}
+			if (m == i && p <= a.Src) || (m == j && p >= a.Dst) {
+				continue // not strictly between source and sink
+			}
+			for _, wr := range st.Writes {
+				if wr.Array != a.SrcRef.Array || len(wr.Index) != len(elem) {
+					continue
+				}
+				hit := true
+				for l, ix := range wr.Index {
+					if ix.Eval(mIdx) != elem[l] {
+						hit = false
+						break
+					}
+				}
+				if hit {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func distStr(dist []int64) string {
+	s := ""
+	for l, d := range dist {
+		if l > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", d)
+	}
+	return s
+}
+
+func (c *checker) tallySite(waitID int, redundant bool) {
+	s := site(c.tagOf(waitID))
+	st := c.sites[s]
+	if st == nil {
+		st = &siteStat{sample: c.tagOf(waitID)}
+		c.sites[s] = st
+	}
+	st.total++
+	if redundant {
+		st.redundant++
+	}
+}
+
+func (c *checker) reportRedundant() {
+	keys := make([]string, 0, len(c.sites))
+	for s := range c.sites {
+		keys = append(keys, s)
+	}
+	sort.Strings(keys)
+	for _, s := range keys {
+		st := c.sites[s]
+		if st.redundant < st.total {
+			continue
+		}
+		c.rep.Notes = append(c.rep.Notes, Finding{
+			Class: RedundantWait, Site: s,
+			Summary: fmt.Sprintf("all %d instances of wait site %q are already implied transitively (e.g. %s); the wait could be eliminated",
+				st.total, s, st.sample),
+		})
+	}
+}
+
+// site normalizes a wait tag to its placement site by erasing the
+// iteration-varying parts: "wait_PC(3,1) i=17" and "wait_PC(3,1) i=42" are
+// the same site; "key:wait A[3]>=2" folds to "key:wait A[*]>=*".
+var (
+	siteIter = regexp.MustCompile(` i=-?\d+( noop)?$`)
+	siteGE   = regexp.MustCompile(`>=-?\d+`)
+	siteElem = regexp.MustCompile(`\[-?\d+(,-?\d+)*\]`)
+	siteVer  = regexp.MustCompile(`\.v\d+(\.c\d+)?`)
+)
+
+func site(tag string) string {
+	tag = siteIter.ReplaceAllString(tag, "")
+	tag = siteGE.ReplaceAllString(tag, ">=*")
+	tag = siteElem.ReplaceAllString(tag, "[*]")
+	tag = siteVer.ReplaceAllString(tag, ".v*")
+	return tag
+}

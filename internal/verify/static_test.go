@@ -1,0 +1,168 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/verify"
+	"github.com/csrd-repro/datasync/internal/workloads"
+)
+
+// vetSchemes are the scheme configurations the verifier is exercised
+// against, covering every shipped scheme family and both folded and
+// unfolded variants.
+func vetSchemes() []struct {
+	name string
+	sch  codegen.Scheme
+} {
+	return []struct {
+		name string
+		sch  codegen.Scheme
+	}{
+		{"process-x4", codegen.ProcessOriented{X: 4, Improved: true}},
+		{"process-x1", codegen.ProcessOriented{X: 1, Improved: true}},
+		{"process-basic-x4", codegen.ProcessOriented{X: 4, Improved: false}},
+		{"statement", codegen.StatementOriented{}},
+		{"statement-k2", codegen.StatementOriented{K: 2}},
+		{"ref", codegen.RefBased{}},
+		{"instance", codegen.NewInstanceBased()},
+	}
+}
+
+func vetWorkloads() []*codegen.Workload {
+	return []*codegen.Workload{
+		workloads.Fig21(40, 4),
+		workloads.Nested(10, 8, 4),
+		workloads.Branchy(40, 4),
+		workloads.Recurrence(60, 3, 4),
+		workloads.Stencil(11, 4),
+	}
+}
+
+// TestStaticCleanOnShippedSchemes is the core soundness-of-schemes check:
+// every shipped scheme must verify clean (no hard findings) on every
+// workload, with full iteration-space coverage.
+func TestStaticCleanOnShippedSchemes(t *testing.T) {
+	for _, w := range vetWorkloads() {
+		for _, s := range vetSchemes() {
+			sp, err := codegen.ExtractSyncProgram(w, s.sch)
+			if err != nil {
+				t.Fatalf("%s/%s: extract: %v", w.Name, s.name, err)
+			}
+			rep := verify.Static(sp, verify.Options{})
+			if !rep.OK() {
+				t.Errorf("%s/%s: hard findings:\n%s", w.Name, s.name, rep)
+			}
+			if rep.Truncated {
+				t.Errorf("%s/%s: unexpectedly truncated", w.Name, s.name)
+			}
+			if rep.PairsChecked == 0 {
+				t.Errorf("%s/%s: no arc instance pairs checked", w.Name, s.name)
+			}
+		}
+	}
+}
+
+// TestStaticReportShape sanity-checks the counters and text rendering.
+func TestStaticReportShape(t *testing.T) {
+	w := workloads.Fig21(40, 4)
+	sp, err := codegen.ExtractSyncProgram(w, codegen.ProcessOriented{X: 4, Improved: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify.Static(sp, verify.Options{})
+	if rep.Waits == 0 || rep.Signals == 0 || rep.Arcs == 0 {
+		t.Fatalf("empty counters: %+v", rep)
+	}
+	if got := rep.String(); !strings.Contains(got, "PASS") {
+		t.Fatalf("report text should PASS:\n%s", got)
+	}
+}
+
+// TestStaticDeadlock feeds a fabricated two-iteration program whose waits
+// release each other in a cycle and expects a deadlock certificate.
+func TestStaticDeadlock(t *testing.T) {
+	w := workloads.Recurrence(2, 1, 1)
+	sp := &codegen.SyncProgram{
+		Workload: w,
+		Scheme:   "fabricated-cycle",
+		Iters:    2,
+		VarNames: []string{"A", "B"},
+		VarInit:  []int64{0, 0},
+		At: func(iter int64) []codegen.SyncOp {
+			if iter == 1 {
+				return []codegen.SyncOp{
+					{Kind: codegen.SyncWait, Var: 0, Value: 1, Tag: "wait A>=1 i=1"},
+					{Kind: codegen.SyncStmt, Stmt: 0, Tag: "S1"},
+					{Kind: codegen.SyncSignal, Var: 1, Value: 1, Tag: "signal B=1 i=1"},
+				}
+			}
+			return []codegen.SyncOp{
+				{Kind: codegen.SyncWait, Var: 1, Value: 1, Tag: "wait B>=1 i=2"},
+				{Kind: codegen.SyncStmt, Stmt: 0, Tag: "S1"},
+				{Kind: codegen.SyncSignal, Var: 0, Value: 1, Tag: "signal A=1 i=2"},
+			}
+		},
+	}
+	rep := verify.Static(sp, verify.Options{})
+	if rep.OK() {
+		t.Fatalf("cyclic program verified clean:\n%s", rep)
+	}
+	var dl *verify.Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Class == verify.Deadlock {
+			dl = &rep.Findings[i]
+			break
+		}
+	}
+	if dl == nil {
+		t.Fatalf("no deadlock finding:\n%s", rep)
+	}
+	if len(dl.Cycle) == 0 {
+		t.Fatalf("deadlock finding lacks a cycle certificate: %+v", dl)
+	}
+}
+
+// TestStaticRedundantWaitNotes: the statement-oriented scheme's awaits are
+// transitively implied by the advance chain on straight-line nests — the
+// verifier should note the redundancy (validating the paper's covering
+// elimination) without failing the program.
+func TestStaticRedundantWaitNotes(t *testing.T) {
+	w := workloads.Fig21(40, 4)
+	sp, err := codegen.ExtractSyncProgram(w, codegen.StatementOriented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify.Static(sp, verify.Options{})
+	if !rep.OK() {
+		t.Fatalf("statement scheme should verify clean:\n%s", rep)
+	}
+	if len(rep.Notes) == 0 {
+		t.Fatalf("expected redundant-wait notes, got none:\n%s", rep)
+	}
+	for _, n := range rep.Notes {
+		if n.Class != verify.RedundantWait {
+			t.Errorf("unexpected note class %s: %+v", n.Class, n)
+		}
+		if !n.Class.Advisory() {
+			t.Errorf("note class %s should be advisory", n.Class)
+		}
+	}
+}
+
+// TestStaticTruncation caps the window and checks the report says so.
+func TestStaticTruncation(t *testing.T) {
+	w := workloads.Recurrence(60, 3, 4)
+	sp, err := codegen.ExtractSyncProgram(w, codegen.ProcessOriented{X: 4, Improved: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify.Static(sp, verify.Options{MaxIters: 20})
+	if !rep.Truncated || rep.Analyzed != 20 {
+		t.Fatalf("want truncated window of 20, got analyzed=%d truncated=%v", rep.Analyzed, rep.Truncated)
+	}
+	if !rep.OK() {
+		t.Fatalf("truncated run should still verify:\n%s", rep)
+	}
+}
