@@ -2,10 +2,16 @@
 // prints their result tables. With no flags it runs everything;
 // -run selects experiments by comma-separated id (e.g. -run E4,E9).
 //
-//	dsbench            # all experiments
-//	dsbench -run E6    # just the Example 1 relaxation study
-//	dsbench -list      # list experiment ids and titles
-//	dsbench -runtime   # goroutine-runtime waiter metrics (RunStats)
+//	dsbench                 # all experiments
+//	dsbench -run E6         # just the Example 1 relaxation study
+//	dsbench -list           # list experiment ids and titles
+//	dsbench -runtime        # goroutine-runtime waiter metrics (RunStats)
+//	dsbench -json out.json  # machine-readable benchmark snapshot
+//
+// -json measures the canonical workload x scheme grid on the base machine
+// and writes a BenchSnapshot ("-" for stdout). The simulator is
+// deterministic, so snapshots from two commits diff cleanly; CI uploads one
+// per run as an artifact.
 //
 // -runtime executes the Fig 2.1 Doacross on the real concurrent runtime —
 // packed and split-field counter sets — with the metrics layer enabled and
@@ -15,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,7 @@ import (
 
 	"github.com/csrd-repro/datasync/internal/core"
 	"github.com/csrd-repro/datasync/internal/exper"
+	"github.com/csrd-repro/datasync/internal/service"
 )
 
 // runtimeReport runs the Fig 2.1 loop body on the concurrent runtime with
@@ -74,6 +82,7 @@ func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment ids to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	md := flag.Bool("md", false, "render tables as GitHub markdown")
+	jsonOut := flag.String("json", "", "write a machine-readable benchmark snapshot to this file (\"-\" for stdout) and exit")
 	rt := flag.Bool("runtime", false, "run the goroutine runtime with waiter metrics and print RunStats")
 	rtn := flag.Int64("rtn", 100_000, "-runtime: iterations")
 	rtx := flag.Int("rtx", 8, "-runtime: physical process counters (X)")
@@ -81,10 +90,16 @@ func main() {
 	rtchunk := flag.Int("rtchunk", 1, "-runtime: iterations claimed per dispatch")
 	flag.Parse()
 
+	if *jsonOut != "" {
+		if err := writeSnapshot(*jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *rt {
 		if err := runtimeReport(*rtn, *rtx, *rtprocs, *rtchunk); err != nil {
-			fmt.Fprintf(os.Stderr, "runtime report failed: %v\n", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("runtime report failed: %w", err))
 		}
 		return
 	}
@@ -129,4 +144,38 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeSnapshot measures the canonical grid and writes the JSON snapshot to
+// path ("-" for stdout).
+func writeSnapshot(path string) error {
+	snap, err := exper.Snapshot()
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "dsbench: wrote %d records to %s\n", len(snap.Records), path)
+	}
+	return nil
+}
+
+// fatal prints a one-line diagnostic through the renderer shared with
+// dsserve/dssim and exits non-zero.
+func fatal(err error) {
+	service.Fatal(os.Stderr, "dsbench", err)
+	os.Exit(1)
 }

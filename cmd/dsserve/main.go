@@ -1,0 +1,82 @@
+// Command dsserve runs the simulation-and-verification HTTP service: JSON
+// endpoints for single runs (/run), dsvet verdicts (/verify) and parameter
+// sweeps with Pareto fronts (/sweep), backed by a bounded worker pool with
+// queue backpressure and a content-addressed result cache.
+//
+//	dsserve -addr :8077 -workers 8 -queue 128
+//
+// Liveness is at GET /healthz, Prometheus-style metrics at GET /metrics.
+// On SIGTERM or SIGINT the server stops accepting connections, drains
+// queued and in-flight jobs, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 4, "simulation worker goroutines")
+	queue := flag.Int("queue", 64, "job queue capacity (full queue answers 429)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-job timeout")
+	cacheSize := flag.Int("cache-size", 1024, "result cache capacity in entries")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	drainWait := flag.Duration("drain-wait", 30*time.Second, "shutdown budget for draining in-flight jobs")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := service.NewServer(service.Options{
+		Workers:    *workers,
+		QueueCap:   *queue,
+		JobTimeout: *timeout,
+		CacheSize:  *cacheSize,
+		RetryAfter: *retryAfter,
+		Logger:     log,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Info("dsserve listening", "addr", *addr, "workers", *workers, "queue", *queue)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure here (shutdown happens in
+		// the other branch), so this is a bind error or similar.
+		service.Fatal(os.Stderr, "dsserve", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	log.Info("signal received; draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		service.Fatal(os.Stderr, "dsserve", err)
+		os.Exit(1)
+	}
+	if err := srv.Drain(shutCtx); err != nil && !errors.Is(err, context.Canceled) {
+		service.Fatal(os.Stderr, "dsserve", err)
+		os.Exit(1)
+	}
+	log.Info("drained; exiting")
+}

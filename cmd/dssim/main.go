@@ -5,6 +5,11 @@
 //	dssim -workload fig21 -scheme process -p 4 -x 8
 //	dssim -workload nested -scheme ref -p 8
 //	dssim -file loop.do -scheme statement -p 4 -buslat 2
+//
+// Workloads, schemes and the machine description are resolved through the
+// same spec vocabulary the dsserve HTTP service uses, so a name or
+// parameter that is invalid here is invalid there, with the same
+// diagnostic. Errors are one line on stderr and exit status 1.
 package main
 
 import (
@@ -13,13 +18,12 @@ import (
 	"os"
 
 	"github.com/csrd-repro/datasync/internal/codegen"
-	"github.com/csrd-repro/datasync/internal/lang"
+	"github.com/csrd-repro/datasync/internal/service"
 	"github.com/csrd-repro/datasync/internal/sim"
-	"github.com/csrd-repro/datasync/internal/workloads"
 )
 
 func main() {
-	workload := flag.String("workload", "fig21", "built-in workload: fig21, nested, branchy, recurrence")
+	workload := flag.String("workload", "fig21", "built-in workload: fig21, nested, branchy, recurrence, stencil")
 	file := flag.String("file", "", "run a .do file instead of a built-in workload")
 	schemeName := flag.String("scheme", "process", "process, process-basic, pipeline, statement, ref, instance")
 	n := flag.Int64("n", 200, "iterations (outer extent for nested)")
@@ -34,81 +38,56 @@ func main() {
 	coverage := flag.Bool("coverage", false, "enable write-coverage optimization")
 	memLat := flag.Int64("memlat", 2, "memory module latency")
 	modules := flag.Int("modules", 0, "memory modules (0 = one per processor)")
+	chunk := flag.Int64("chunk", 0, "iterations per dispatch (>1 selects chunked self-scheduling)")
 	trace := flag.Bool("trace", false, "print a per-processor execution timeline")
 	traceWidth := flag.Int("tracewidth", 100, "timeline width in characters")
 	flag.Parse()
 
-	var w *codegen.Workload
-	var err error
-	switch {
-	case *file != "":
-		var src []byte
-		src, err = os.ReadFile(*file)
-		if err == nil {
-			w, err = lang.Parse(string(src))
+	wspec := service.WorkloadSpec{Name: *workload, N: *n, M: *m, D: *d, Cost: *cost}
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
 		}
-	case *workload == "fig21":
-		w = workloads.Fig21(*n, *cost)
-	case *workload == "nested":
-		w = workloads.Nested(*n, *m, *cost)
-	case *workload == "branchy":
-		w = workloads.Branchy(*n, *cost)
-	case *workload == "recurrence":
-		w = workloads.Recurrence(*n, *d, *cost)
-	default:
-		err = fmt.Errorf("unknown workload %q", *workload)
+		wspec = service.WorkloadSpec{Source: string(src)}
 	}
+	w, err := wspec.Build()
 	if err != nil {
 		fatal(err)
 	}
 
-	var sch codegen.Scheme
-	switch *schemeName {
-	case "process":
-		sch = codegen.ProcessOriented{X: *x, Improved: true}
-	case "process-basic":
-		sch = codegen.ProcessOriented{X: *x, Improved: false}
-	case "pipeline":
-		sch = codegen.PipelinedOuter{X: *x, G: *g}
-	case "statement":
-		sch = codegen.StatementOriented{K: *k}
-	case "ref":
-		sch = codegen.RefBased{}
-	case "instance":
-		sch = codegen.NewInstanceBased()
-	default:
-		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
+	sch, err := service.SchemeSpec{Name: *schemeName, X: *x, K: *k, G: *g}.Build()
+	if err != nil {
+		fatal(err)
 	}
 
-	mods := *modules
-	if mods == 0 {
-		mods = *p
+	cfg := service.ConfigSpec{
+		P:          *p,
+		BusLatency: busLat,
+		Coverage:   *coverage,
+		MemLatency: *memLat,
+		Modules:    *modules,
+		Chunk:      *chunk,
+	}.SimConfig()
+	if err := cfg.Check(); err != nil {
+		fatal(err)
 	}
-	cfg := sim.Config{
-		Processors:    *p,
-		BusLatency:    *busLat,
-		BusCoverage:   *coverage,
-		MemLatency:    *memLat,
-		Modules:       mods,
-		SyncOpCost:    1,
-		SchedOverhead: 1,
-	}
+
 	var res codegen.Result
 	var events []sim.TraceEvent
-	var err2 error
 	if *trace {
-		res, events, err2 = codegen.RunTraced(w, sch, cfg)
+		res, events, err = codegen.RunTraced(w, sch, cfg)
 	} else {
-		res, err2 = codegen.Run(w, sch, cfg)
+		res, err = codegen.Run(w, sch, cfg)
 	}
-	if err2 != nil {
-		fatal(err2)
+	if err != nil {
+		fatal(err)
 	}
 	st := res.Stats
 	fmt.Printf("workload:        %s (%d iterations)\n", w.Name, st.Iterations)
 	fmt.Printf("scheme:          %s\n", res.Scheme)
 	fmt.Printf("machine:         P=%d busLat=%d coverage=%v memLat=%d modules=%d\n",
-		*p, *busLat, *coverage, *memLat, mods)
+		cfg.Processors, cfg.BusLatency, cfg.BusCoverage, cfg.MemLatency, cfg.Modules)
 	fmt.Printf("serial cycles:   %d\n", res.SerialCycles)
 	fmt.Printf("parallel cycles: %d (speedup %.2f, utilization %.3f)\n",
 		st.Cycles, res.Speedup(), st.Utilization())
@@ -121,11 +100,13 @@ func main() {
 	fmt.Printf("serial-equivalence check: PASS\n")
 	if *trace {
 		fmt.Println()
-		fmt.Print(sim.TraceTimeline(events, *p, st.Cycles, *traceWidth))
+		fmt.Print(sim.TraceTimeline(events, cfg.Processors, st.Cycles, *traceWidth))
 	}
 }
 
+// fatal prints a one-line diagnostic through the renderer shared with
+// dsserve and exits non-zero.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dssim:", err)
+	service.Fatal(os.Stderr, "dssim", err)
 	os.Exit(1)
 }

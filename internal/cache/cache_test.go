@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func keyOf(s string) Key {
+	var k Key
+	copy(k[:], s)
+	return k
+}
+
+func TestDoStoresAndHits(t *testing.T) {
+	c := New(4)
+	calls := 0
+	fn := func() (any, error) { calls++; return 42, nil }
+
+	v, hit, err := c.Do(keyOf("a"), fn)
+	if err != nil || hit || v.(int) != 42 {
+		t.Fatalf("first Do: v=%v hit=%v err=%v", v, hit, err)
+	}
+	v, hit, err = c.Do(keyOf("a"), fn)
+	if err != nil || !hit || v.(int) != 42 {
+		t.Fatalf("second Do: v=%v hit=%v err=%v", v, hit, err)
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1", calls)
+	}
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	for i := 0; i < 3; i++ {
+		i := i
+		c.Do(keyOf(fmt.Sprintf("k%d", i)), func() (any, error) { return i, nil })
+	}
+	if _, ok := c.Get(keyOf("k0")); ok {
+		t.Error("k0 should have been evicted")
+	}
+	if _, ok := c.Get(keyOf("k2")); !ok {
+		t.Error("k2 should be present")
+	}
+	if st := c.Snapshot(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats %+v, want 1 eviction / 2 entries", st)
+	}
+
+	// Touching k1 promotes it: inserting k3 must evict k2, not k1.
+	c.Get(keyOf("k1"))
+	c.Do(keyOf("k3"), func() (any, error) { return 3, nil })
+	if _, ok := c.Get(keyOf("k1")); !ok {
+		t.Error("recently used k1 evicted before k2")
+	}
+	if _, ok := c.Get(keyOf("k2")); ok {
+		t.Error("k2 should have been evicted after k1 was touched")
+	}
+}
+
+// TestSingleflightDedup: concurrent identical requests run the computation
+// exactly once and all observe its result.
+func TestSingleflightDedup(t *testing.T) {
+	c := New(8)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(keyOf("hot"), func() (any, error) {
+				calls.Add(1)
+				<-gate // hold every other goroutine in the dedup path
+				return "answer", nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Errorf("computation ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != "answer" {
+			t.Errorf("waiter %d got %v", i, v)
+		}
+	}
+	st := c.Snapshot()
+	if st.Dedups+st.Hits != waiters-1 {
+		t.Errorf("stats %+v: %d waiters should have been served without computing", st, waiters-1)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	calls := 0
+	fail := func() (any, error) { calls++; return nil, boom }
+
+	if _, _, err := c.Do(keyOf("e"), fail); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if _, _, err := c.Do(keyOf("e"), fail); !errors.Is(err, boom) {
+		t.Fatalf("want boom on retry, got %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("failed computation cached: ran %d times, want 2", calls)
+	}
+	v, hit, err := c.Do(keyOf("e"), func() (any, error) { return 7, nil })
+	if err != nil || hit || v.(int) != 7 {
+		t.Errorf("recovery run: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+// TestConcurrentMixedKeys hammers the cache from many goroutines over a
+// small key space; run under -race this checks the locking discipline.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := keyOf(fmt.Sprintf("k%d", (g+i)%6))
+				v, _, err := c.Do(k, func() (any, error) { return (g + i) % 6, nil })
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				_ = v
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 4 {
+		t.Errorf("cache grew past capacity: %d entries", c.Len())
+	}
+}

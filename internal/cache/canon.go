@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/deps"
+	"github.com/csrd-repro/datasync/internal/expr"
+	"github.com/csrd-repro/datasync/internal/loop"
+	"github.com/csrd-repro/datasync/internal/sim"
+)
+
+// canonVersion prefixes every canonical encoding. Bump it whenever the
+// encoding or the meaning of any encoded field changes, so stale entries
+// from an older canonical form can never be served.
+const canonVersion = "dsserve-canon-v1"
+
+// RequestKey is the content address of one evaluation request: a canonical
+// hash of the workload's program AST, the scheme descriptor, the simulator
+// configuration, and any extra discriminators (e.g. the verification mode).
+//
+// Canonicalization covers everything the deterministic simulator's output
+// depends on: loop index names and bounds, the body tree (statement names,
+// costs, and affine read/write references; branch node names and both
+// arms), the scheme's parameterized name (schemes render their parameters
+// into Name(), e.g. "process(X=8,improved)"), and every Config field.
+// Statement semantics are functions and cannot be hashed directly, but they
+// are determined by the workload identity the AST encodes: builtin
+// workloads bind semantics to their (named) statement structure, and
+// .do-file workloads derive semantics from exactly the parsed AST.
+func RequestKey(w *codegen.Workload, scheme string, cfg sim.Config, extra ...string) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00", canonVersion)
+	writeWorkload(h, w)
+	fmt.Fprintf(h, "scheme\x00%s\x00", scheme)
+	writeConfig(h, cfg)
+	for _, e := range extra {
+		fmt.Fprintf(h, "extra\x00%s\x00", e)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+func writeWorkload(h io.Writer, w *codegen.Workload) {
+	fmt.Fprintf(h, "workload\x00%s\x00depth=%d\x00", w.Name, w.Nest.Depth())
+	for _, ix := range w.Nest.Indexes {
+		fmt.Fprintf(h, "index\x00%s\x00%d\x00%d\x00", ix.Name, ix.Lo, ix.Hi)
+	}
+	writeBody(h, w.Nest.Body)
+}
+
+func writeBody(h io.Writer, body []loop.Node) {
+	fmt.Fprintf(h, "body[%d]\x00", len(body))
+	for _, n := range body {
+		switch v := n.(type) {
+		case loop.StmtNode:
+			writeStmt(h, v.S)
+		case loop.IfNode:
+			// Branch predicates are functions; the node name is their
+			// canonical identity (builders name branches by condition).
+			fmt.Fprintf(h, "if\x00%s\x00", v.Name)
+			writeBody(h, v.Then)
+			fmt.Fprintf(h, "else\x00")
+			writeBody(h, v.Else)
+		default:
+			fmt.Fprintf(h, "node?%T\x00", n)
+		}
+	}
+}
+
+func writeStmt(h io.Writer, s *deps.Stmt) {
+	fmt.Fprintf(h, "stmt\x00%s\x00cost=%d\x00", s.Name, s.Cost)
+	writeRefs(h, "w", s.Writes)
+	writeRefs(h, "r", s.Reads)
+}
+
+func writeRefs(h io.Writer, kind string, refs []deps.Ref) {
+	fmt.Fprintf(h, "%s[%d]\x00", kind, len(refs))
+	for _, r := range refs {
+		fmt.Fprintf(h, "%s\x00", r.Array)
+		for _, a := range r.Index {
+			writeAffine(h, a)
+		}
+	}
+}
+
+func writeAffine(h io.Writer, a expr.Affine) {
+	fmt.Fprintf(h, "aff(%d", a.Const)
+	for _, c := range a.Coef {
+		fmt.Fprintf(h, ",%d", c)
+	}
+	fmt.Fprintf(h, ")\x00")
+}
+
+// writeConfig encodes every Config field explicitly: adding a field to
+// sim.Config without extending this encoding is caught by
+// TestRequestKeyCoversConfig.
+func writeConfig(h io.Writer, c sim.Config) {
+	fmt.Fprintf(h, "config\x00P=%d bus=%d cov=%v mem=%d mod=%d sync=%d sched=%d data=%d max=%d disp=%d chunk=%d\x00",
+		c.Processors, c.BusLatency, c.BusCoverage, c.MemLatency, c.Modules,
+		c.SyncOpCost, c.SchedOverhead, c.DataLatency, c.MaxCycles, int(c.Dispatch), c.ChunkSize)
+}

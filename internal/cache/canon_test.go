@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/csrd-repro/datasync/internal/sim"
+	"github.com/csrd-repro/datasync/internal/workloads"
+)
+
+var canonCfg = sim.Config{Processors: 8, BusLatency: 1, MemLatency: 2,
+	Modules: 8, SyncOpCost: 1, SchedOverhead: 1}
+
+// TestRequestKeyStable: rebuilding the same workload must produce the same
+// key — content addressing, not pointer identity.
+func TestRequestKeyStable(t *testing.T) {
+	k1 := RequestKey(workloads.Fig21(40, 4), "process(X=8,improved)", canonCfg)
+	k2 := RequestKey(workloads.Fig21(40, 4), "process(X=8,improved)", canonCfg)
+	if k1 != k2 {
+		t.Errorf("identical requests hash differently: %s vs %s", k1, k2)
+	}
+}
+
+// TestRequestKeySensitivity: every component of the request must reach the
+// hash — workload shape, parameters, scheme, each config field, extras.
+func TestRequestKeySensitivity(t *testing.T) {
+	base := func() Key {
+		return RequestKey(workloads.Fig21(40, 4), "ref", canonCfg)
+	}
+	k0 := base()
+
+	variants := map[string]Key{
+		"workload kind":   RequestKey(workloads.Recurrence(40, 2, 4), "ref", canonCfg),
+		"workload extent": RequestKey(workloads.Fig21(41, 4), "ref", canonCfg),
+		"statement cost":  RequestKey(workloads.Fig21(40, 5), "ref", canonCfg),
+		"scheme":          RequestKey(workloads.Fig21(40, 4), "process(X=8,improved)", canonCfg),
+		"extra":           RequestKey(workloads.Fig21(40, 4), "ref", canonCfg, "mode=verify"),
+	}
+	cfgMuts := map[string]func(*sim.Config){
+		"Processors":    func(c *sim.Config) { c.Processors = 4 },
+		"BusLatency":    func(c *sim.Config) { c.BusLatency = 2 },
+		"BusCoverage":   func(c *sim.Config) { c.BusCoverage = true },
+		"MemLatency":    func(c *sim.Config) { c.MemLatency = 3 },
+		"Modules":       func(c *sim.Config) { c.Modules = 2 },
+		"SyncOpCost":    func(c *sim.Config) { c.SyncOpCost = 0 },
+		"SchedOverhead": func(c *sim.Config) { c.SchedOverhead = 2 },
+		"DataLatency":   func(c *sim.Config) { c.DataLatency = 1 },
+		"MaxCycles":     func(c *sim.Config) { c.MaxCycles = 12345 },
+		"Dispatch":      func(c *sim.Config) { c.Dispatch = sim.DispatchChunked },
+		"ChunkSize":     func(c *sim.Config) { c.ChunkSize = 8 },
+	}
+	for name, mut := range cfgMuts {
+		cfg := canonCfg
+		mut(&cfg)
+		variants["config."+name] = RequestKey(workloads.Fig21(40, 4), "ref", cfg)
+	}
+
+	seen := map[Key]string{k0: "base"}
+	for name, k := range variants {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s collides with %s: %s", name, prev, k)
+		}
+		seen[k] = name
+	}
+	if k0 != base() {
+		t.Error("base key not reproducible")
+	}
+}
+
+// TestRequestKeyCoversConfig pins the field count of sim.Config: when a
+// field is added, this fails until writeConfig (and the sensitivity table
+// above) are extended, keeping the canonical encoding exhaustive.
+func TestRequestKeyCoversConfig(t *testing.T) {
+	if n := reflect.TypeOf(sim.Config{}).NumField(); n != 11 {
+		t.Errorf("sim.Config has %d fields; update cache.writeConfig and this test (encodes 11)", n)
+	}
+}
+
+// TestRequestKeyBranches: branch structure (names, arm contents) must be
+// part of the address.
+func TestRequestKeyBranches(t *testing.T) {
+	k1 := RequestKey(workloads.Branchy(40, 4), "ref", canonCfg)
+	k2 := RequestKey(workloads.Branchy(40, 4), "ref", canonCfg)
+	k3 := RequestKey(workloads.Branchy(41, 4), "ref", canonCfg)
+	if k1 != k2 {
+		t.Error("branchy workload key unstable")
+	}
+	if k1 == k3 {
+		t.Error("branchy extent not hashed")
+	}
+}

@@ -115,6 +115,9 @@ func RunSyncTraced(w *Workload, sch Scheme, cfg sim.Config) (Result, []sim.SyncE
 }
 
 func run(w *Workload, sch Scheme, cfg sim.Config, trace, syncTrace bool) (Result, *sim.Machine, error) {
+	if err := cfg.Check(); err != nil {
+		return Result{}, nil, fmt.Errorf("codegen: invalid machine configuration: %w", err)
+	}
 	// Serial oracle on a private memory.
 	serialMem := sim.NewMem()
 	w.Setup(serialMem)

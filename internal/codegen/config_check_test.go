@@ -1,0 +1,30 @@
+package codegen_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/sim"
+	"github.com/csrd-repro/datasync/internal/workloads"
+)
+
+// TestRunRejectsInvalidConfig: Run must return the Config.Check error for a
+// bad machine description instead of panicking in the simulator.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	w := workloads.Fig21(10, 1)
+	for _, cfg := range []sim.Config{
+		{Processors: 0},
+		{Processors: 4, BusLatency: -1},
+		{Processors: 4, MemLatency: -1},
+		{Processors: 4, Modules: -2},
+	} {
+		_, err := codegen.Run(w, codegen.RefBased{}, cfg)
+		if err == nil {
+			t.Fatalf("Run accepted invalid config %+v", cfg)
+		}
+		if !strings.Contains(err.Error(), "invalid machine configuration") {
+			t.Errorf("unexpected error for %+v: %v", cfg, err)
+		}
+	}
+}

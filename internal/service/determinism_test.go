@@ -1,0 +1,110 @@
+package service
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/csrd-repro/datasync/internal/cache"
+	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/sim"
+	"github.com/csrd-repro/datasync/internal/workloads"
+)
+
+// These tests pin the invariant the content-addressed result cache relies
+// on: the simulator is deterministic, so {program AST, scheme, config}
+// content-addresses an exact result. Two halves: the canonical hash must be
+// byte-identical across repeated construction, and the measured RunStats
+// must be identical across repeated runs — under different GOMAXPROCS
+// settings, since the service runs simulations concurrently on the pool.
+
+var detCfg = sim.Config{Processors: 6, BusLatency: 1, MemLatency: 2,
+	Modules: 6, SyncOpCost: 1, SchedOverhead: 1}
+
+type detPair struct {
+	name   string
+	build  func() *codegen.Workload
+	scheme func() codegen.Scheme
+}
+
+func detPairs() []detPair {
+	return []detPair{
+		{"fig21/process", func() *codegen.Workload { return workloads.Fig21(40, 4) },
+			func() codegen.Scheme { return codegen.ProcessOriented{X: 4, Improved: true} }},
+		{"recurrence/ref", func() *codegen.Workload { return workloads.Recurrence(40, 2, 4) },
+			func() codegen.Scheme { return codegen.RefBased{} }},
+		{"nested/instance", func() *codegen.Workload { return workloads.Nested(8, 5, 4) },
+			func() codegen.Scheme { return codegen.NewInstanceBased() }},
+	}
+}
+
+// TestDeterminismHashAndStatsAcrossGOMAXPROCS: same request, byte-identical
+// key and deep-equal RunStats at GOMAXPROCS 1, 4 and 8.
+func TestDeterminismHashAndStatsAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, pair := range detPairs() {
+		var refKey cache.Key
+		var refStats *sim.Stats
+		for _, procs := range []int{1, 4, 8} {
+			runtime.GOMAXPROCS(procs)
+			w := pair.build()
+			sch := pair.scheme()
+			key := cache.RequestKey(w, sch.Name(), detCfg)
+			if refStats == nil {
+				refKey = key
+			} else if key != refKey {
+				t.Errorf("%s: key differs at GOMAXPROCS=%d: %s vs %s", pair.name, procs, key, refKey)
+			}
+			res, err := codegen.Run(w, sch, detCfg)
+			if err != nil {
+				t.Fatalf("%s at GOMAXPROCS=%d: %v", pair.name, procs, err)
+			}
+			if refStats == nil {
+				st := res.Stats
+				refStats = &st
+			} else if !reflect.DeepEqual(*refStats, res.Stats) {
+				t.Errorf("%s: RunStats diverge at GOMAXPROCS=%d:\n%+v\nvs\n%+v",
+					pair.name, procs, *refStats, res.Stats)
+			}
+		}
+	}
+}
+
+// TestDeterminismRepeatedRuns: many repetitions at a fixed GOMAXPROCS give
+// identical measurements — no hidden map-iteration or timing dependence.
+func TestDeterminismRepeatedRuns(t *testing.T) {
+	for _, pair := range detPairs() {
+		var ref *codegen.Result
+		for i := 0; i < 5; i++ {
+			res, err := codegen.Run(pair.build(), pair.scheme(), detCfg)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", pair.name, i, err)
+			}
+			if ref == nil {
+				ref = &res
+				continue
+			}
+			if !reflect.DeepEqual(ref.Stats, res.Stats) {
+				t.Errorf("%s: run %d stats diverge:\n%+v\nvs\n%+v", pair.name, i, ref.Stats, res.Stats)
+			}
+			if ref.SerialCycles != res.SerialCycles || ref.Foot != res.Foot {
+				t.Errorf("%s: run %d result metadata diverges", pair.name, i)
+			}
+		}
+	}
+}
+
+// TestKeyDistinguishesPairs: no two of the canonical pairs share a key
+// (content addressing must separate what the service can serve).
+func TestKeyDistinguishesPairs(t *testing.T) {
+	seen := map[cache.Key]string{}
+	for _, pair := range detPairs() {
+		k := cache.RequestKey(pair.build(), pair.scheme().Name(), detCfg)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s and %s share key %s", pair.name, prev, k)
+		}
+		seen[k] = pair.name
+	}
+}

@@ -1,0 +1,29 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// OneLine collapses an error into a single-line diagnostic: internal
+// newlines (deadlock reports, memory diffs) become "; " so CLI stderr and
+// structured log fields stay one record per failure.
+func OneLine(err error) string {
+	if err == nil {
+		return ""
+	}
+	s := strings.TrimSpace(err.Error())
+	s = strings.ReplaceAll(s, "\r\n", "\n")
+	parts := strings.Split(s, "\n")
+	for i, p := range parts {
+		parts[i] = strings.TrimSpace(p)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Fatal writes "tool: message" (one line) to w — the shared CLI error
+// renderer for dssim and dsserve. The caller decides the exit code.
+func Fatal(w io.Writer, tool string, err error) {
+	fmt.Fprintf(w, "%s: %s\n", tool, OneLine(err))
+}

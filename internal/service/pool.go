@@ -1,0 +1,146 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQueueFull is returned by Submit when the bounded job queue is at
+// capacity — the backpressure signal the HTTP layer turns into 429 +
+// Retry-After instead of unbounded goroutine growth.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrDraining is returned by Submit once Drain has begun.
+var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// Pool is a bounded worker pool: a fixed number of workers consuming a
+// fixed-capacity queue. Every simulation and verification job the service
+// executes goes through it, which bounds concurrent simulator memory and
+// keeps overload explicit (ErrQueueFull) rather than implicit (collapse).
+type Pool struct {
+	mu       sync.RWMutex // guards draining vs. queue close
+	draining bool
+	jobs     chan func(context.Context)
+	workers  int
+	timeout  time.Duration
+	wg       sync.WaitGroup
+
+	inflight  atomic.Int64
+	completed atomic.Int64
+}
+
+// NewPool starts workers goroutines consuming a queue of capacity queueCap.
+// jobTimeout bounds each job's context (0 = no deadline): a job that waited
+// in the queue past its deadline observes a cancelled context and should
+// not start expensive work.
+func NewPool(workers, queueCap int, jobTimeout time.Duration) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	p := &Pool{
+		jobs:    make(chan func(context.Context), queueCap),
+		workers: workers,
+		timeout: jobTimeout,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for fn := range p.jobs {
+		p.inflight.Add(1)
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if p.timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, p.timeout)
+		}
+		fn(ctx)
+		cancel()
+		p.inflight.Add(-1)
+		p.completed.Add(1)
+	}
+}
+
+// Submit enqueues a job without blocking. It returns ErrQueueFull when the
+// queue is at capacity and ErrDraining after Drain has begun. The job's
+// context carries the pool's per-job timeout, measured from the moment a
+// worker picks the job up.
+func (p *Pool) Submit(fn func(context.Context)) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.draining {
+		return ErrDraining
+	}
+	select {
+	case p.jobs <- fn:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// SubmitWait is Submit with patience: on a full queue it retries with a
+// short pause until accepted or ctx expires. The sweep engine uses it so a
+// large grid shares the pool with interactive traffic instead of failing or
+// bypassing the bound.
+func (p *Pool) SubmitWait(ctx context.Context, fn func(context.Context)) error {
+	for {
+		err := p.Submit(fn)
+		if err == nil || errors.Is(err, ErrDraining) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Drain stops accepting jobs and waits until every queued and in-flight job
+// has finished, or ctx expires. It is idempotent.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueDepth is the number of jobs waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// QueueCap is the queue capacity.
+func (p *Pool) QueueCap() int { return cap(p.jobs) }
+
+// Workers is the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// InFlight is the number of jobs currently executing.
+func (p *Pool) InFlight() int64 { return p.inflight.Load() }
+
+// Completed is the number of jobs finished since start.
+func (p *Pool) Completed() int64 { return p.completed.Load() }

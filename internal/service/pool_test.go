@@ -1,0 +1,134 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolBackpressure: with one busy worker and a queue of one, the third
+// submission must fail with ErrQueueFull — deterministically, because the
+// first job blocks on a gate we control.
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1, 0)
+	gate := make(chan struct{})
+	running := make(chan struct{})
+
+	if err := p.Submit(func(context.Context) { close(running); <-gate }); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-running // worker is now occupied
+	if err := p.Submit(func(context.Context) {}); err != nil {
+		t.Fatalf("second submit (fills queue): %v", err)
+	}
+	if err := p.Submit(func(context.Context) {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: got %v, want ErrQueueFull", err)
+	}
+
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := p.Completed(); got != 2 {
+		t.Errorf("completed %d jobs, want 2", got)
+	}
+}
+
+// TestPoolDrainWaitsForJobs: Drain must complete queued and in-flight work
+// before returning, and reject new submissions immediately.
+func TestPoolDrainWaitsForJobs(t *testing.T) {
+	p := NewPool(2, 8, 0)
+	var done atomic.Int64
+	for i := 0; i < 6; i++ {
+		if err := p.Submit(func(context.Context) {
+			time.Sleep(5 * time.Millisecond)
+			done.Add(1)
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := done.Load(); got != 6 {
+		t.Errorf("drain returned with %d/6 jobs finished", got)
+	}
+	if err := p.Submit(func(context.Context) {}); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit after drain: got %v, want ErrDraining", err)
+	}
+	// Idempotent.
+	if err := p.Drain(ctx); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}
+
+// TestPoolSubmitWait: a patient submission parks until capacity frees up
+// instead of failing, and honours context cancellation.
+func TestPoolSubmitWait(t *testing.T) {
+	p := NewPool(1, 1, 0)
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	if err := p.Submit(func(context.Context) { close(running); <-gate }); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-running
+	if err := p.Submit(func(context.Context) {}); err != nil {
+		t.Fatalf("second submit (fills queue): %v", err)
+	}
+
+	accepted := make(chan error, 1)
+	go func() {
+		accepted <- p.SubmitWait(context.Background(), func(context.Context) {})
+	}()
+	select {
+	case err := <-accepted:
+		t.Fatalf("SubmitWait returned %v while pool was full", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-accepted; err != nil {
+		t.Fatalf("SubmitWait after capacity freed: %v", err)
+	}
+
+	// Cancellation while full.
+	p2 := NewPool(1, 1, 0)
+	running2 := make(chan struct{})
+	gate2 := make(chan struct{})
+	defer close(gate2)
+	p2.Submit(func(context.Context) { close(running2); <-gate2 })
+	<-running2
+	if err := p2.Submit(func(context.Context) {}); err != nil {
+		t.Fatalf("fill queue: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := p2.SubmitWait(ctx, func(context.Context) {}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cancelled SubmitWait: got %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestPoolJobTimeoutContext: a job picked up after sitting in a queue gets
+// a live context bounded by the pool timeout.
+func TestPoolJobTimeoutContext(t *testing.T) {
+	p := NewPool(1, 1, 50*time.Millisecond)
+	got := make(chan error, 1)
+	if err := p.Submit(func(ctx context.Context) {
+		_, hasDeadline := ctx.Deadline()
+		if !hasDeadline {
+			got <- errors.New("job context has no deadline")
+			return
+		}
+		got <- ctx.Err()
+	}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := <-got; err != nil {
+		t.Fatalf("job context: %v", err)
+	}
+}

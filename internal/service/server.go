@@ -1,0 +1,477 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/cache"
+	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/sim"
+	"github.com/csrd-repro/datasync/internal/verify"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the simulation worker count (default 4).
+	Workers int
+	// QueueCap is the job queue capacity (default 64). A full queue answers
+	// 429 with a Retry-After hint.
+	QueueCap int
+	// JobTimeout bounds one job's context (default 30s).
+	JobTimeout time.Duration
+	// CacheSize is the result cache capacity in entries (default 1024).
+	CacheSize int
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Logger receives structured request logs (default: slog.Default).
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 30 * time.Second
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 1024
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Server evaluates synchronization programs over the bounded pool with the
+// content-addressed cache in front.
+type Server struct {
+	opts     Options
+	pool     *Pool
+	cache    *cache.Cache
+	metrics  *Metrics
+	log      *slog.Logger
+	draining atomic.Bool
+
+	// simRun executes one simulation; tests substitute it to model slow or
+	// failing jobs deterministically.
+	simRun func(w *codegen.Workload, sch codegen.Scheme, cfg sim.Config) (codegen.Result, error)
+}
+
+// NewServer builds a Server and starts its worker pool.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:    opts,
+		pool:    NewPool(opts.Workers, opts.QueueCap, opts.JobTimeout),
+		cache:   cache.New(opts.CacheSize),
+		metrics: NewMetrics(),
+		log:     opts.Logger,
+		simRun:  codegen.Run,
+	}
+}
+
+// Pool exposes the worker pool (for drain and introspection).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Drain marks the server draining (healthz turns 503), stops accepting
+// jobs, and waits for queued and in-flight jobs to finish or ctx to expire.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.Drain(ctx)
+}
+
+// Handler returns the routed HTTP handler with request logging attached.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("POST /verify", s.handleVerify)
+	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.logged(mux)
+}
+
+// ---- request/response types ----
+
+// RunRequest asks for one simulation: workload x scheme x machine.
+type RunRequest struct {
+	Workload WorkloadSpec `json:"workload"`
+	Scheme   SchemeSpec   `json:"scheme"`
+	Config   ConfigSpec   `json:"config"`
+}
+
+// RunResponse is one measured run. Cached reports whether the result came
+// from the content-addressed cache (including a singleflight piggyback);
+// Key is the canonical content address.
+type RunResponse struct {
+	Workload     string            `json:"workload"`
+	Scheme       string            `json:"scheme"`
+	Key          string            `json:"key"`
+	Cached       bool              `json:"cached"`
+	SerialCycles int64             `json:"serialCycles"`
+	Cycles       int64             `json:"cycles"`
+	Speedup      float64           `json:"speedup"`
+	Utilization  float64           `json:"utilization"`
+	SyncOps      int64             `json:"syncOps"`
+	WaitSync     int64             `json:"waitSyncCycles"`
+	BusTx        int64             `json:"busBroadcasts"`
+	BusSaved     int64             `json:"busSaved"`
+	ModuleAcc    int64             `json:"moduleAccesses"`
+	Polls        int64             `json:"polls"`
+	Foot         codegen.Footprint `json:"footprint"`
+	Stats        sim.Stats         `json:"stats"`
+}
+
+// VerifyRequest asks for a dsvet verdict on one workload x scheme pair.
+type VerifyRequest struct {
+	Workload WorkloadSpec `json:"workload"`
+	Scheme   SchemeSpec   `json:"scheme"`
+	Config   ConfigSpec   `json:"config"`
+	// Dynamic additionally executes the pair and replays the sync trace
+	// through the vector-clock checker.
+	Dynamic  bool  `json:"dynamic,omitempty"`
+	MaxIters int64 `json:"maxIters,omitempty"`
+}
+
+// VerifyResponse carries the static (and optionally dynamic) reports.
+type VerifyResponse struct {
+	Workload string            `json:"workload"`
+	Scheme   string            `json:"scheme"`
+	Key      string            `json:"key"`
+	Cached   bool              `json:"cached"`
+	OK       bool              `json:"ok"`
+	Static   *verify.Report    `json:"static"`
+	Dynamic  *verify.DynReport `json:"dynamic,omitempty"`
+	RunError string            `json:"runError,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- evaluation ----
+
+// runResult is the cache value for /run: everything except the per-request
+// Cached/Key decoration.
+type runResult struct {
+	resp RunResponse
+}
+
+// evalRun answers one run request through cache, singleflight and pool.
+// wait selects the backpressure policy: false returns ErrQueueFull to the
+// caller (turned into 429); true retries until ctx expires (sweep points).
+func (s *Server) evalRun(ctx context.Context, wl *codegen.Workload, sspec SchemeSpec, cfg sim.Config) (RunResponse, bool, error) {
+	sch, err := sspec.Build()
+	if err != nil {
+		return RunResponse{}, false, err
+	}
+	if err := cfg.Check(); err != nil {
+		return RunResponse{}, false, err
+	}
+	key := cache.RequestKey(wl, sch.Name(), cfg)
+	v, hit, err := s.cache.Do(key, func() (any, error) {
+		return s.executeRun(ctx, wl, sspec, cfg)
+	})
+	if err != nil {
+		return RunResponse{}, false, err
+	}
+	resp := v.(*runResult).resp
+	resp.Cached = hit
+	resp.Key = key.String()
+	return resp, hit, nil
+}
+
+// executeRun runs one simulation on the pool and packages the measurements.
+func (s *Server) executeRun(ctx context.Context, wl *codegen.Workload, sspec SchemeSpec, cfg sim.Config) (*runResult, error) {
+	type outcome struct {
+		res codegen.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	submit := s.pool.Submit
+	if _, patient := ctx.Value(ctxKeyPatient{}).(struct{}); patient {
+		submit = func(fn func(context.Context)) error { return s.pool.SubmitWait(ctx, fn) }
+	}
+	err := submit(func(jobCtx context.Context) {
+		if jobCtx.Err() != nil {
+			done <- outcome{err: fmt.Errorf("service: job expired in queue: %w", jobCtx.Err())}
+			return
+		}
+		start := time.Now()
+		// A fresh scheme per execution: instance-based schemes carry
+		// per-run renamed storage.
+		sch, err := sspec.Build()
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		res, err := s.simRun(wl, sch, cfg)
+		if err == nil {
+			s.metrics.ObserveJob(sch.Name(), time.Since(start))
+		}
+		done <- outcome{res: res, err: err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case o := <-done:
+		if o.err != nil {
+			return nil, o.err
+		}
+		st := o.res.Stats
+		return &runResult{resp: RunResponse{
+			Workload:     wl.Name,
+			Scheme:       o.res.Scheme,
+			SerialCycles: o.res.SerialCycles,
+			Cycles:       st.Cycles,
+			Speedup:      o.res.Speedup(),
+			Utilization:  st.Utilization(),
+			SyncOps:      st.SyncOps,
+			WaitSync:     st.WaitSyncTotal(),
+			BusTx:        st.BusBroadcasts,
+			BusSaved:     st.BusSaved,
+			ModuleAcc:    st.ModuleAccesses,
+			Polls:        st.Polls,
+			Foot:         o.res.Foot,
+			Stats:        st,
+		}}, nil
+	case <-ctx.Done():
+		// The job keeps running (it is MaxCycles-bounded) and its result
+		// will not be cached; the request gives up now.
+		return nil, fmt.Errorf("service: request cancelled while awaiting job: %w", ctx.Err())
+	}
+}
+
+// ctxKeyPatient marks contexts whose submissions should wait out a full
+// queue instead of failing fast (sweep fan-out).
+type ctxKeyPatient struct{}
+
+func patientCtx(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ctxKeyPatient{}, struct{}{})
+}
+
+// ---- handlers ----
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	wl, err := req.Workload.Build()
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, _, err := s.evalRun(r.Context(), wl, req.Scheme, req.Config.SimConfig())
+	if err != nil {
+		s.evalError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !req.Scheme.Verifiable() {
+		s.httpError(w, http.StatusBadRequest,
+			fmt.Errorf("scheme %q is not statically verifiable (outer-loop pipelining is outside the iteration-indexed happens-before model)", req.Scheme.Name))
+		return
+	}
+	wl, err := req.Workload.Build()
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	sch, err := req.Scheme.Build()
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg := req.Config.SimConfig()
+	if err := cfg.Check(); err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := cache.RequestKey(wl, sch.Name(), cfg,
+		fmt.Sprintf("mode=verify dynamic=%v maxIters=%d", req.Dynamic, req.MaxIters))
+	v, hit, err := s.cache.Do(key, func() (any, error) {
+		return s.executeVerify(r.Context(), wl, req)
+	})
+	if err != nil {
+		s.evalError(w, err)
+		return
+	}
+	resp := *v.(*VerifyResponse)
+	resp.Cached = hit
+	resp.Key = key.String()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// executeVerify runs the static (and optionally dynamic) checkers on the pool.
+func (s *Server) executeVerify(ctx context.Context, wl *codegen.Workload, req VerifyRequest) (*VerifyResponse, error) {
+	type outcome struct {
+		resp *VerifyResponse
+		err  error
+	}
+	done := make(chan outcome, 1)
+	err := s.pool.Submit(func(jobCtx context.Context) {
+		if jobCtx.Err() != nil {
+			done <- outcome{err: fmt.Errorf("service: job expired in queue: %w", jobCtx.Err())}
+			return
+		}
+		sch, err := req.Scheme.Build()
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		sp, err := codegen.ExtractSyncProgram(wl, sch)
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		resp := &VerifyResponse{
+			Workload: wl.Name,
+			Scheme:   sp.Scheme,
+			Static:   verify.Static(sp, verify.Options{MaxIters: req.MaxIters}),
+		}
+		resp.OK = resp.Static.OK()
+		if req.Dynamic {
+			// A broken scheme may deadlock or fail serial equivalence; the
+			// trace recorded up to that point is still replayed.
+			fresh, err := req.Scheme.Build()
+			if err != nil {
+				done <- outcome{err: err}
+				return
+			}
+			_, events, rerr := codegen.RunSyncTraced(wl, fresh, req.Config.SimConfig())
+			if rerr != nil {
+				resp.RunError = OneLine(rerr)
+				resp.OK = false
+			}
+			resp.Dynamic = verify.Dynamic(events)
+			if !resp.Dynamic.OK() {
+				resp.OK = false
+			}
+		}
+		done <- outcome{resp: resp}
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case o := <-done:
+		return o.resp, o.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("service: request cancelled while awaiting job: %w", ctx.Err())
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.pool.Workers(),
+		"queue":   s.pool.QueueDepth(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.Render(w, s.pool, s.cache.Snapshot())
+}
+
+// ---- plumbing ----
+
+// decode parses a JSON body strictly; unknown fields are an input error so
+// a typo'd parameter fails loudly instead of silently taking a default.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// evalError maps evaluation failures to HTTP: backpressure to 429 +
+// Retry-After, cancellation to 503, everything else to 400 (the request
+// described an unrunnable job: bad spec, deadlocking scheme, livelock cap).
+func (s *Server) evalError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds()+0.5)))
+		s.httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		s.httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		s.httpError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) httpError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, errorResponse{Error: OneLine(err)})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Error("encode response", "err", err)
+	}
+}
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// logged wraps the mux with structured request logging and request metrics.
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		route := r.URL.Path
+		s.metrics.ObserveRequest(route, sw.code)
+		s.log.Info("request",
+			"method", r.Method,
+			"route", route,
+			"status", sw.code,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"queue", s.pool.QueueDepth(),
+			"inflight", s.pool.InFlight(),
+		)
+	})
+}

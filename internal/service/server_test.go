@@ -1,0 +1,347 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/sim"
+)
+
+func testServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := NewServer(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, out
+}
+
+// TestRunAllPairs: the service answers /run for every workload x scheme
+// pair (pipeline on its depth-2 workload), each checked for a sane payload.
+func TestRunAllPairs(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 4})
+	flat := []string{"process", "process-basic", "statement", "ref", "instance"}
+	workloadSpecs := []WorkloadSpec{
+		{Name: "fig21", N: 24},
+		{Name: "nested", N: 6, M: 4},
+		{Name: "branchy", N: 24},
+		{Name: "recurrence", N: 24, D: 2},
+		{Name: "stencil", N: 6},
+	}
+	for _, wspec := range workloadSpecs {
+		for _, scheme := range flat {
+			req := RunRequest{Workload: wspec, Scheme: SchemeSpec{Name: scheme, X: 4}, Config: ConfigSpec{P: 4}}
+			resp, body := post(t, ts, "/run", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s/%s: status %d: %s", wspec.Name, scheme, resp.StatusCode, body)
+			}
+			var rr RunResponse
+			if err := json.Unmarshal(body, &rr); err != nil {
+				t.Fatalf("%s/%s: decode: %v", wspec.Name, scheme, err)
+			}
+			if rr.Cycles <= 0 || rr.SerialCycles <= 0 || rr.Key == "" {
+				t.Errorf("%s/%s: implausible result %+v", wspec.Name, scheme, rr)
+			}
+		}
+	}
+	// Pipeline needs a depth-2 nest.
+	resp, body := post(t, ts, "/run", RunRequest{
+		Workload: WorkloadSpec{Name: "nested", N: 6, M: 4},
+		Scheme:   SchemeSpec{Name: "pipeline", X: 4, G: 2},
+		Config:   ConfigSpec{P: 4},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nested/pipeline: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestRunCacheHit: a repeated identical request is served from cache, the
+// hit shows in the response and in /metrics, and the measurements match.
+func TestRunCacheHit(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2})
+	req := RunRequest{Workload: WorkloadSpec{Name: "fig21", N: 30},
+		Scheme: SchemeSpec{Name: "process", X: 4}, Config: ConfigSpec{P: 4}}
+
+	var first, second RunResponse
+	resp, body := post(t, ts, "/run", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("first: %d %s", resp.StatusCode, body)
+	}
+	json.Unmarshal(body, &first)
+	if first.Cached {
+		t.Error("first request reported cached")
+	}
+	resp, body = post(t, ts, "/run", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("second: %d %s", resp.StatusCode, body)
+	}
+	json.Unmarshal(body, &second)
+	if !second.Cached {
+		t.Error("second identical request not served from cache")
+	}
+	if first.Key != second.Key || first.Cycles != second.Cycles || first.SyncOps != second.SyncOps {
+		t.Errorf("cached result diverges: %+v vs %+v", first, second)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "dsserve_cache_hits_total 1") {
+		t.Errorf("metrics missing cache hit:\n%s", mbody)
+	}
+	if !strings.Contains(string(mbody), `dsserve_requests_total{route="/run",code="200"} 2`) {
+		t.Errorf("metrics missing request counts:\n%s", mbody)
+	}
+	if !strings.Contains(string(mbody), "dsserve_job_latency_seconds_count") {
+		t.Errorf("metrics missing job latency histogram:\n%s", mbody)
+	}
+}
+
+// TestBadRequests: spec and config errors are 400 with a one-line error.
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"unknown scheme", RunRequest{Workload: WorkloadSpec{Name: "fig21"}, Scheme: SchemeSpec{Name: "quantum"}}},
+		{"unknown workload", RunRequest{Workload: WorkloadSpec{Name: "nope"}, Scheme: SchemeSpec{Name: "ref"}}},
+		{"bad config", RunRequest{Workload: WorkloadSpec{Name: "fig21"}, Scheme: SchemeSpec{Name: "ref"}, Config: ConfigSpec{P: -2}}},
+		{"unparsable program", RunRequest{Workload: WorkloadSpec{Source: "DO I=1,N garbage"}, Scheme: SchemeSpec{Name: "ref"}}},
+		{"unknown field", map[string]any{"workload": map[string]any{"name": "fig21"}, "shceme": map[string]any{}}},
+		{"pipeline on depth-1", RunRequest{Workload: WorkloadSpec{Name: "fig21"}, Scheme: SchemeSpec{Name: "pipeline"}}},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, ts, "/run", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: bad error payload %s", tc.name, body)
+		}
+		if strings.Contains(er.Error, "\n") {
+			t.Errorf("%s: error not one line: %q", tc.name, er.Error)
+		}
+	}
+}
+
+// TestVerifyEndpoint: /verify returns a clean static report for a correct
+// pair, caches it, and rejects the pipeline scheme.
+func TestVerifyEndpoint(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2})
+	req := VerifyRequest{Workload: WorkloadSpec{Name: "fig21", N: 20},
+		Scheme: SchemeSpec{Name: "ref"}, Config: ConfigSpec{P: 4}, Dynamic: true}
+
+	resp, body := post(t, ts, "/verify", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("verify: %d %s", resp.StatusCode, body)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !vr.OK || vr.Static == nil || vr.Dynamic == nil {
+		t.Errorf("verify result: %+v", vr)
+	}
+	if vr.Cached {
+		t.Error("first verify reported cached")
+	}
+	resp, body = post(t, ts, "/verify", req)
+	json.Unmarshal(body, &vr)
+	if !vr.Cached {
+		t.Error("second identical verify not cached")
+	}
+
+	resp, body = post(t, ts, "/verify", VerifyRequest{Workload: WorkloadSpec{Name: "nested"},
+		Scheme: SchemeSpec{Name: "pipeline"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("pipeline verify: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestBackpressure429: with one worker, no queue slack and a slow
+// simulation, concurrent distinct requests must see 429 + Retry-After
+// rather than queue growth.
+func TestBackpressure429(t *testing.T) {
+	s, ts := testServer(t, Options{Workers: 1, QueueCap: 1, RetryAfter: 2 * time.Second})
+	gate := make(chan struct{})
+	var once sync.Once
+	running := make(chan struct{})
+	s.simRun = func(w *codegen.Workload, sch codegen.Scheme, cfg sim.Config) (codegen.Result, error) {
+		once.Do(func() { close(running) })
+		<-gate
+		return codegen.Run(w, sch, cfg)
+	}
+
+	// Occupy the worker, then fill the queue, then overflow — distinct
+	// requests (different N) so the cache cannot absorb them.
+	results := make(chan int, 8)
+	headers := make(chan string, 8)
+	var wg sync.WaitGroup
+	launch := func(n int64) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := post(t, ts, "/run", RunRequest{Workload: WorkloadSpec{Name: "fig21", N: n},
+				Scheme: SchemeSpec{Name: "ref"}, Config: ConfigSpec{P: 2}})
+			results <- resp.StatusCode
+			headers <- resp.Header.Get("Retry-After")
+		}()
+	}
+	launch(10)
+	<-running  // worker busy
+	launch(11) // queue slot
+	// Give request 11 a moment to occupy the queue slot.
+	time.Sleep(50 * time.Millisecond)
+	launch(12) // must overflow
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	close(results)
+	close(headers)
+
+	var got429 bool
+	for code := range results {
+		if code == http.StatusTooManyRequests {
+			got429 = true
+		}
+	}
+	if !got429 {
+		t.Fatal("no request observed 429 under a saturated queue")
+	}
+	var retryAfterSeen bool
+	for h := range headers {
+		if h != "" {
+			retryAfterSeen = true
+			if h != "2" {
+				t.Errorf("Retry-After = %q, want \"2\"", h)
+			}
+		}
+	}
+	if !retryAfterSeen {
+		t.Error("429 response missing Retry-After header")
+	}
+}
+
+// TestSingleflightConcurrentIdentical: concurrent identical /run requests
+// execute the simulation once; the others piggyback.
+func TestSingleflightConcurrentIdentical(t *testing.T) {
+	s, ts := testServer(t, Options{Workers: 4, QueueCap: 16})
+	var runs, once = 0, sync.Mutex{}
+	inner := s.simRun
+	s.simRun = func(w *codegen.Workload, sch codegen.Scheme, cfg sim.Config) (codegen.Result, error) {
+		once.Lock()
+		runs++
+		once.Unlock()
+		time.Sleep(20 * time.Millisecond) // widen the dedup window
+		return inner(w, sch, cfg)
+	}
+	req := RunRequest{Workload: WorkloadSpec{Name: "fig21", N: 16},
+		Scheme: SchemeSpec{Name: "ref"}, Config: ConfigSpec{P: 2}}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := post(t, ts, "/run", req)
+			if resp.StatusCode != 200 {
+				t.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+	if runs != 1 {
+		t.Errorf("simulation ran %d times for identical concurrent requests, want 1", runs)
+	}
+}
+
+// TestHealthzAndDrain: healthz is 200 while serving and 503 once draining;
+// draining finishes in-flight jobs.
+func TestHealthzAndDrain(t *testing.T) {
+	s, ts := testServer(t, Options{Workers: 2})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz after drain: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after drain: status %d, want 503", resp.StatusCode)
+	}
+	rresp, body := post(t, ts, "/run", RunRequest{Workload: WorkloadSpec{Name: "fig21", N: 99},
+		Scheme: SchemeSpec{Name: "ref"}, Config: ConfigSpec{P: 2}})
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("run while draining: status %d, want 503 (%s)", rresp.StatusCode, body)
+	}
+}
+
+// TestDoSourceProgram: inline .do source runs and is content-addressed —
+// the same program text from "different files" shares one cache entry.
+func TestDoSourceProgram(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2})
+	src := "DO I = 1, 30\n  S1: A[I] = A[I-2] + 1\nEND DO\n"
+	req := RunRequest{Workload: WorkloadSpec{Source: src}, Scheme: SchemeSpec{Name: "process", X: 4},
+		Config: ConfigSpec{P: 4}}
+	resp, body := post(t, ts, "/run", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("source run: %d %s", resp.StatusCode, body)
+	}
+	var first RunResponse
+	json.Unmarshal(body, &first)
+	resp, body = post(t, ts, "/run", req)
+	var second RunResponse
+	json.Unmarshal(body, &second)
+	if !second.Cached || second.Key != first.Key {
+		t.Errorf("identical source not cache-hit: %+v vs %+v", first, second)
+	}
+}

@@ -1,0 +1,181 @@
+// Package service implements dsserve: an HTTP JSON service that evaluates
+// synchronization programs on the deterministic simulator and verifies them
+// with the happens-before checkers, behind a bounded worker pool with queue
+// backpressure and a content-addressed result cache.
+//
+// The package also owns the request vocabulary — WorkloadSpec, SchemeSpec,
+// ConfigSpec — which the CLIs (cmd/dssim) share, so "unknown scheme" means
+// the same thing and renders the same diagnostic everywhere.
+package service
+
+import (
+	"fmt"
+
+	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/lang"
+	"github.com/csrd-repro/datasync/internal/sim"
+	"github.com/csrd-repro/datasync/internal/workloads"
+)
+
+// WorkloadSpec names a workload: either a built-in generator with its
+// parameters, or inline .do source. Zero-valued parameters take the listed
+// defaults.
+type WorkloadSpec struct {
+	// Name selects a built-in workload: fig21, nested, branchy, recurrence,
+	// stencil. Ignored when Source is set.
+	Name string `json:"name,omitempty"`
+	// Source is a program in the .do loop language; it overrides Name.
+	Source string `json:"source,omitempty"`
+
+	N    int64 `json:"n,omitempty"`    // iterations / outer extent / grid size (default 40)
+	M    int64 `json:"m,omitempty"`    // inner extent, nested workload (default 8)
+	D    int64 `json:"d,omitempty"`    // dependence distance, recurrence (default 2)
+	Cost int64 `json:"cost,omitempty"` // statement cost in cycles (default 4)
+}
+
+// WorkloadNames lists the built-in workload names Build accepts.
+func WorkloadNames() []string {
+	return []string{"fig21", "nested", "branchy", "recurrence", "stencil"}
+}
+
+// Build materializes the workload.
+func (s WorkloadSpec) Build() (*codegen.Workload, error) {
+	n, m, d, cost := s.N, s.M, s.D, s.Cost
+	if n <= 0 {
+		n = 40
+	}
+	if m <= 0 {
+		m = 8
+	}
+	if d <= 0 {
+		d = 2
+	}
+	if cost <= 0 {
+		cost = 4
+	}
+	if s.Source != "" {
+		w, err := lang.Parse(s.Source)
+		if err != nil {
+			return nil, fmt.Errorf("parse program: %w", err)
+		}
+		return w, nil
+	}
+	switch s.Name {
+	case "fig21":
+		return workloads.Fig21(n, cost), nil
+	case "nested":
+		return workloads.Nested(n, m, cost), nil
+	case "branchy":
+		return workloads.Branchy(n, cost), nil
+	case "recurrence":
+		return workloads.Recurrence(n, d, cost), nil
+	case "stencil":
+		return workloads.Stencil(n, cost), nil
+	case "":
+		return nil, fmt.Errorf("workload: name or source required (built-ins: %v)", WorkloadNames())
+	}
+	return nil, fmt.Errorf("unknown workload %q (built-ins: %v)", s.Name, WorkloadNames())
+}
+
+// SchemeSpec names a synchronization scheme with its parameters.
+type SchemeSpec struct {
+	// Name: process, process-basic, pipeline, statement, ref, instance.
+	Name string `json:"name"`
+	X    int    `json:"x,omitempty"` // folded process counters (default 8)
+	K    int    `json:"k,omitempty"` // statement counters (0 = one per source)
+	G    int64  `json:"g,omitempty"` // pipeline grouping (default 1)
+}
+
+// SchemeNames lists the scheme names Build accepts.
+func SchemeNames() []string {
+	return []string{"process", "process-basic", "pipeline", "statement", "ref", "instance"}
+}
+
+// Build returns a fresh scheme instance. Fresh matters: the instance-based
+// scheme carries per-run renamed storage, so scheme values must never be
+// shared between runs.
+func (s SchemeSpec) Build() (codegen.Scheme, error) {
+	x := s.X
+	if x <= 0 {
+		x = 8
+	}
+	g := s.G
+	if g <= 0 {
+		g = 1
+	}
+	switch s.Name {
+	case "process":
+		return codegen.ProcessOriented{X: x, Improved: true}, nil
+	case "process-basic":
+		return codegen.ProcessOriented{X: x, Improved: false}, nil
+	case "pipeline":
+		return codegen.PipelinedOuter{X: x, G: g}, nil
+	case "statement":
+		return codegen.StatementOriented{K: s.K}, nil
+	case "ref":
+		return codegen.RefBased{}, nil
+	case "instance":
+		return codegen.NewInstanceBased(), nil
+	case "":
+		return nil, fmt.Errorf("scheme: name required (one of %v)", SchemeNames())
+	}
+	return nil, fmt.Errorf("unknown scheme %q (one of %v)", s.Name, SchemeNames())
+}
+
+// Verifiable reports whether the scheme is in scope for the static
+// happens-before verifier (the pipelined-outer scheme's processes are
+// outer-loop slices, which the iteration-indexed model does not cover).
+func (s SchemeSpec) Verifiable() bool { return s.Name != "pipeline" }
+
+// ConfigSpec describes the simulated machine. Zero values take the listed
+// defaults; negative values are rejected by sim.Config.Check.
+type ConfigSpec struct {
+	P          int    `json:"p,omitempty"`          // processors (default 8)
+	BusLatency *int64 `json:"busLatency,omitempty"` // sync-bus broadcast latency (default 1)
+	Coverage   bool   `json:"coverage,omitempty"`   // write-coverage optimization
+	MemLatency int64  `json:"memLatency,omitempty"` // memory-module latency (default 2)
+	Modules    int    `json:"modules,omitempty"`    // memory modules (default: one per processor)
+	SyncOpCost *int64 `json:"syncOpCost,omitempty"` // sync-op issue cost (default 1)
+	SchedCost  *int64 `json:"schedCost,omitempty"`  // per-dispatch overhead (default 1)
+	DataLat    int64  `json:"dataLatency,omitempty"`
+	Chunk      int64  `json:"chunk,omitempty"` // >1 selects chunked self-scheduling
+	MaxCycles  int64  `json:"maxCycles,omitempty"`
+}
+
+// SimConfig resolves the spec into a simulator configuration (defaults
+// applied; validity is checked by the run entry points via Config.Check).
+func (c ConfigSpec) SimConfig() sim.Config {
+	p := c.P
+	if p == 0 {
+		p = 8
+	}
+	mods := c.Modules
+	if mods == 0 {
+		mods = p
+	}
+	deref := func(v *int64, def int64) int64 {
+		if v == nil {
+			return def
+		}
+		return *v
+	}
+	cfg := sim.Config{
+		Processors:    p,
+		BusLatency:    deref(c.BusLatency, 1),
+		BusCoverage:   c.Coverage,
+		MemLatency:    c.MemLatency,
+		Modules:       mods,
+		SyncOpCost:    deref(c.SyncOpCost, 1),
+		SchedOverhead: deref(c.SchedCost, 1),
+		DataLatency:   c.DataLat,
+		MaxCycles:     c.MaxCycles,
+	}
+	if cfg.MemLatency == 0 {
+		cfg.MemLatency = 2
+	}
+	if c.Chunk > 1 {
+		cfg.Dispatch = sim.DispatchChunked
+		cfg.ChunkSize = c.Chunk
+	}
+	return cfg
+}

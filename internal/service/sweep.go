@@ -1,0 +1,220 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// maxSweepPoints caps one sweep request's grid: large studies should be
+// split into several requests rather than monopolizing the pool.
+const maxSweepPoints = 1024
+
+// SweepGrid is the parameter grid to fan out: the cross product of every
+// non-empty dimension. An empty dimension holds the base request's value.
+type SweepGrid struct {
+	X          []int   `json:"x,omitempty"`          // folded process counters
+	P          []int   `json:"p,omitempty"`          // processors
+	Chunk      []int64 `json:"chunk,omitempty"`      // self-scheduling chunk size
+	G          []int64 `json:"g,omitempty"`          // pipeline grouping
+	BusLatency []int64 `json:"busLatency,omitempty"` // sync-bus broadcast latency
+}
+
+// SweepRequest asks for a parameter study: one workload x scheme family
+// evaluated over the grid, answered with every point plus the Pareto front
+// of cycles vs. synchronization traffic.
+type SweepRequest struct {
+	Workload WorkloadSpec `json:"workload"`
+	Scheme   SchemeSpec   `json:"scheme"`
+	Config   ConfigSpec   `json:"config"`
+	Grid     SweepGrid    `json:"grid"`
+}
+
+// SweepPoint is one evaluated grid point. SyncTraffic is the run's total
+// synchronization fabric load: sync-bus broadcasts plus busy-wait memory
+// polls (the two media a scheme's sync operations travel on).
+type SweepPoint struct {
+	X           int     `json:"x"`
+	P           int     `json:"p"`
+	Chunk       int64   `json:"chunk"`
+	G           int64   `json:"g,omitempty"`
+	BusLatency  int64   `json:"busLatency"`
+	Scheme      string  `json:"scheme"`
+	Cached      bool    `json:"cached"`
+	Cycles      int64   `json:"cycles"`
+	SyncTraffic int64   `json:"syncTraffic"`
+	SyncOps     int64   `json:"syncOps"`
+	Speedup     float64 `json:"speedup"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// SweepResponse reports every point (grid order) and the Pareto front
+// (ascending cycles). Points that failed to run carry an Error and are
+// excluded from the front.
+type SweepResponse struct {
+	Workload  string       `json:"workload"`
+	Evaluated int          `json:"evaluated"`
+	Failed    int          `json:"failed"`
+	CacheHits int          `json:"cacheHits"`
+	Points    []SweepPoint `json:"points"`
+	Pareto    []SweepPoint `json:"pareto"`
+}
+
+// gridPoint is one expanded parameter combination.
+type gridPoint struct {
+	x, p             int
+	chunk, g, busLat int64
+	hasG             bool
+}
+
+// expand builds the cross product, substituting base values for empty
+// dimensions.
+func (g SweepGrid) expand(base SweepRequest) ([]gridPoint, error) {
+	xs := g.X
+	if len(xs) == 0 {
+		xs = []int{base.Scheme.X}
+	}
+	ps := g.P
+	if len(ps) == 0 {
+		ps = []int{base.Config.P}
+	}
+	chunks := g.Chunk
+	if len(chunks) == 0 {
+		chunks = []int64{base.Config.Chunk}
+	}
+	gs := g.G
+	hasG := len(gs) > 0
+	if !hasG {
+		gs = []int64{base.Scheme.G}
+	}
+	lats := g.BusLatency
+	if len(lats) == 0 {
+		var b int64 = 1
+		if base.Config.BusLatency != nil {
+			b = *base.Config.BusLatency
+		}
+		lats = []int64{b}
+	}
+	total := len(xs) * len(ps) * len(chunks) * len(gs) * len(lats)
+	if total > maxSweepPoints {
+		return nil, fmt.Errorf("sweep grid has %d points, max %d — split the study", total, maxSweepPoints)
+	}
+	points := make([]gridPoint, 0, total)
+	for _, x := range xs {
+		for _, p := range ps {
+			for _, c := range chunks {
+				for _, gg := range gs {
+					for _, l := range lats {
+						points = append(points, gridPoint{x: x, p: p, chunk: c, g: gg, busLat: l, hasG: hasG})
+					}
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	wl, err := req.Workload.Build()
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := req.Scheme.Build(); err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	points, err := req.Grid.expand(req)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Fan the grid across the pool. The handler goroutine is not a pool
+	// worker, so waiting for a queue slot (SubmitWait via patientCtx)
+	// cannot deadlock the pool; interactive /run traffic keeps its
+	// fail-fast 429 behaviour while a sweep patiently shares capacity.
+	ctx := patientCtx(r.Context())
+	resp := SweepResponse{Workload: wl.Name, Points: make([]SweepPoint, len(points))}
+	var wg sync.WaitGroup
+	for i, gp := range points {
+		i, gp := i, gp
+		sspec := req.Scheme
+		sspec.X = gp.x
+		if gp.hasG {
+			sspec.G = gp.g
+		}
+		cspec := req.Config
+		cspec.P = gp.p
+		cspec.Chunk = gp.chunk
+		lat := gp.busLat
+		cspec.BusLatency = &lat
+
+		pt := SweepPoint{X: gp.x, P: cspec.SimConfig().Processors, Chunk: gp.chunk, BusLatency: gp.busLat}
+		if gp.hasG {
+			pt.G = gp.g
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rr, _, err := s.evalRun(ctx, wl, sspec, cspec.SimConfig())
+			if err != nil {
+				pt.Error = OneLine(err)
+			} else {
+				pt.Scheme = rr.Scheme
+				pt.Cached = rr.Cached
+				pt.Cycles = rr.Cycles
+				pt.SyncTraffic = rr.BusTx + rr.Polls
+				pt.SyncOps = rr.SyncOps
+				pt.Speedup = rr.Speedup
+			}
+			resp.Points[i] = pt
+		}()
+	}
+	wg.Wait()
+
+	for _, p := range resp.Points {
+		if p.Error != "" {
+			resp.Failed++
+			continue
+		}
+		resp.Evaluated++
+		if p.Cached {
+			resp.CacheHits++
+		}
+	}
+	resp.Pareto = paretoFront(resp.Points)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// paretoFront returns the non-dominated successful points, minimizing
+// (Cycles, SyncTraffic), sorted by ascending cycles. A point is dominated
+// when another is no worse on both axes and strictly better on one.
+func paretoFront(points []SweepPoint) []SweepPoint {
+	ok := make([]SweepPoint, 0, len(points))
+	for _, p := range points {
+		if p.Error == "" {
+			ok = append(ok, p)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool {
+		if ok[i].Cycles != ok[j].Cycles {
+			return ok[i].Cycles < ok[j].Cycles
+		}
+		return ok[i].SyncTraffic < ok[j].SyncTraffic
+	})
+	var front []SweepPoint
+	bestTraffic := int64(-1)
+	for _, p := range ok {
+		if bestTraffic == -1 || p.SyncTraffic < bestTraffic {
+			front = append(front, p)
+			bestTraffic = p.SyncTraffic
+		}
+	}
+	return front
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigCheckBadFields exercises every field Check validates: each bad
+// configuration must produce an error naming the offending field, not a
+// panic.
+func TestConfigCheckBadFields(t *testing.T) {
+	good := Config{Processors: 4, BusLatency: 1, MemLatency: 2, Modules: 4,
+		SyncOpCost: 1, SchedOverhead: 1}
+	if err := good.Check(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero processors", func(c *Config) { c.Processors = 0 }, "Processors"},
+		{"negative processors", func(c *Config) { c.Processors = -3 }, "Processors"},
+		{"negative bus latency", func(c *Config) { c.BusLatency = -1 }, "BusLatency"},
+		{"negative mem latency", func(c *Config) { c.MemLatency = -2 }, "MemLatency"},
+		{"negative modules", func(c *Config) { c.Modules = -1 }, "Modules"},
+		{"negative sync op cost", func(c *Config) { c.SyncOpCost = -1 }, "SyncOpCost"},
+		{"negative sched overhead", func(c *Config) { c.SchedOverhead = -1 }, "SchedOverhead"},
+		{"negative data latency", func(c *Config) { c.DataLatency = -1 }, "DataLatency"},
+		{"negative max cycles", func(c *Config) { c.MaxCycles = -1 }, "MaxCycles"},
+		{"negative chunk size", func(c *Config) { c.ChunkSize = -1 }, "ChunkSize"},
+		{"unknown dispatch", func(c *Config) { c.Dispatch = Dispatch(42) }, "Dispatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.mut(&cfg)
+			err := cfg.Check()
+			if err == nil {
+				t.Fatalf("Check accepted %+v", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name field %s", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestConfigCheckZeroDefaults confirms the documented zero-means-default
+// fields stay valid and normalize to their defaults.
+func TestConfigCheckZeroDefaults(t *testing.T) {
+	cfg := Config{Processors: 1}
+	if err := cfg.Check(); err != nil {
+		t.Fatalf("zero-default config rejected: %v", err)
+	}
+	n := cfg.normalized()
+	if n.MemLatency != 1 || n.Modules != 1 || n.MaxCycles != 100_000_000 || n.ChunkSize != 4 {
+		t.Errorf("normalized defaults wrong: %+v", n)
+	}
+}

@@ -76,9 +76,39 @@ func (d Dispatch) String() string {
 	return fmt.Sprintf("Dispatch(%d)", int(d))
 }
 
+// Check validates the configuration. Zero values of MemLatency, Modules,
+// MaxCycles and ChunkSize keep their documented defaults; everything else
+// out of range is an input error, reported rather than panicked so services
+// and CLIs can refuse a bad request without crashing the process.
+func (c Config) Check() error {
+	switch {
+	case c.Processors < 1:
+		return fmt.Errorf("sim: Processors must be >= 1 (got %d)", c.Processors)
+	case c.BusLatency < 0:
+		return fmt.Errorf("sim: BusLatency must be >= 0 (got %d)", c.BusLatency)
+	case c.MemLatency < 0:
+		return fmt.Errorf("sim: MemLatency must be >= 0 (got %d; 0 means the default of 1)", c.MemLatency)
+	case c.Modules < 0:
+		return fmt.Errorf("sim: Modules must be >= 0 (got %d; 0 means the default of 1)", c.Modules)
+	case c.SyncOpCost < 0:
+		return fmt.Errorf("sim: SyncOpCost must be >= 0 (got %d)", c.SyncOpCost)
+	case c.SchedOverhead < 0:
+		return fmt.Errorf("sim: SchedOverhead must be >= 0 (got %d)", c.SchedOverhead)
+	case c.DataLatency < 0:
+		return fmt.Errorf("sim: DataLatency must be >= 0 (got %d)", c.DataLatency)
+	case c.MaxCycles < 0:
+		return fmt.Errorf("sim: MaxCycles must be >= 0 (got %d; 0 means the default of 100,000,000)", c.MaxCycles)
+	case c.ChunkSize < 0:
+		return fmt.Errorf("sim: ChunkSize must be >= 0 (got %d; 0 means the default of 4)", c.ChunkSize)
+	case c.Dispatch != DispatchInOrder && c.Dispatch != DispatchChunked && c.Dispatch != DispatchReversed:
+		return fmt.Errorf("sim: unknown Dispatch policy %d", int(c.Dispatch))
+	}
+	return nil
+}
+
 func (c Config) normalized() Config {
-	if c.Processors < 1 {
-		panic("sim: Config.Processors must be >= 1")
+	if err := c.Check(); err != nil {
+		panic(err) // direct library misuse; Run entry points call Check first
 	}
 	if c.MemLatency == 0 {
 		c.MemLatency = 1

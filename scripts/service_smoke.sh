@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Smoke-test the dsserve HTTP service end to end: start it, answer one /run
+# per scheme (every scheme on a workload it is defined for), require the
+# repeated request to come from the content-addressed cache, check /verify
+# and /sweep, then SIGTERM it and require a clean drain (exit 0).
+set -euo pipefail
+
+ADDR="${DSSERVE_ADDR:-127.0.0.1:8077}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/dsserve"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/dsserve
+
+"$BIN" -addr "$ADDR" -workers 4 -queue 32 2>"$LOG" &
+PID=$!
+cleanup() {
+  kill "$PID" 2>/dev/null || true
+  cat "$LOG" >&2 || true
+}
+trap cleanup EXIT
+
+# Wait for liveness.
+for i in $(seq 1 50); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$PID" 2>/dev/null; then echo "dsserve died at startup" >&2; exit 1; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" | grep -q '"status": "ok"'
+
+run_req() { # $1 = body, $2 = expected-substring
+  local out
+  out=$(curl -fsS -X POST "$BASE/run" -d "$1")
+  echo "$out" | grep -q "$2" || { echo "unexpected /run response for $1: $out" >&2; exit 1; }
+}
+
+# One /run per scheme, on a workload each scheme is defined for. First hit
+# computes, the identical repeat must be served from the cache.
+for scheme in process process-basic statement ref instance; do
+  body="{\"workload\":{\"name\":\"fig21\",\"n\":60},\"scheme\":{\"name\":\"$scheme\",\"x\":4},\"config\":{\"p\":4}}"
+  run_req "$body" '"cached": false'
+  run_req "$body" '"cached": true'
+done
+# Pipelined-outer only exists for depth-2 loop nests.
+body='{"workload":{"name":"nested","n":12,"m":8},"scheme":{"name":"pipeline","x":4,"g":2},"config":{"p":4}}'
+run_req "$body" '"cached": false'
+run_req "$body" '"cached": true'
+
+# Cache hits must be visible in /metrics.
+metrics=$(curl -fsS "$BASE/metrics")
+echo "$metrics" | grep -q 'dsserve_cache_hits_total 6' || {
+  echo "expected 6 cache hits in /metrics:" >&2; echo "$metrics" >&2; exit 1; }
+
+# /verify: static + dynamic verdict for a clean pair.
+curl -fsS -X POST "$BASE/verify" \
+  -d '{"workload":{"name":"recurrence","n":30},"scheme":{"name":"ref"},"dynamic":true}' \
+  | grep -q '"ok": true'
+
+# /sweep: a small grid returns every point and a Pareto front.
+curl -fsS -X POST "$BASE/sweep" \
+  -d '{"workload":{"name":"fig21","n":30},"scheme":{"name":"process"},"grid":{"x":[2,4],"p":[2,4]}}' \
+  | grep -q '"pareto"'
+
+# A bad request is a 400 with a one-line diagnostic, not a crash.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/run" \
+  -d '{"workload":{"name":"no-such"},"scheme":{"name":"process"}}')
+[ "$code" = "400" ] || { echo "bad workload gave $code, want 400" >&2; exit 1; }
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+rc=0
+wait "$PID" || rc=$?
+[ "$rc" = "0" ] || { echo "dsserve exited $rc after SIGTERM, want 0" >&2; exit 1; }
+trap - EXIT
+echo "service smoke: OK"
