@@ -487,17 +487,18 @@ func BenchmarkRuntimeBarriers(b *testing.B) {
 	const p = 4
 	cases := []struct {
 		name string
-		mk   func() func(pid int)
+		mk   func() func(pid int) error
 	}{
-		{"counter", func() func(int) { return barrier.NewCounter(p).Await }},
-		{"flags", func() func(int) { return barrier.NewFlags(p).Await }},
-		{"pc-butterfly", func() func(int) { return barrier.NewPCButterfly(p).Await }},
+		{"counter", func() func(int) error { return barrier.NewCounter(p).Await }},
+		{"flags", func() func(int) error { return barrier.NewFlags(p).Await }},
+		{"pc-butterfly", func() func(int) error { return barrier.NewPCButterfly(p).Await }},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			// Every participant, partners included, runs exactly b.N
 			// rounds, so the episode count is agreed upon up front and
-			// shutdown cannot race the last round.
+			// shutdown cannot race the last round. No watchdog is armed,
+			// so Await cannot fail.
 			await := c.mk()
 			var wg sync.WaitGroup
 			for pid := 1; pid < p; pid++ {
@@ -506,13 +507,17 @@ func BenchmarkRuntimeBarriers(b *testing.B) {
 				go func() {
 					defer wg.Done()
 					for i := 0; i < b.N; i++ {
-						await(pid)
+						if err := await(pid); err != nil {
+							panic(err)
+						}
 					}
 				}()
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				await(0)
+				if err := await(0); err != nil {
+					b.Fatal(err)
+				}
 			}
 			wg.Wait()
 		})
@@ -567,13 +572,17 @@ func BenchmarkRuntimeDissemination(b *testing.B) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < b.N; i++ {
-				bar.Await(pid)
+				if err := bar.Await(pid); err != nil {
+					panic(err) // no watchdog armed: cannot happen
+				}
 			}
 		}()
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		bar.Await(0)
+		if err := bar.Await(0); err != nil {
+			b.Fatal(err)
+		}
 	}
 	wg.Wait()
 }

@@ -31,17 +31,21 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-job timeout")
 	cacheSize := flag.Int("cache-size", 1024, "result cache capacity in entries")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive stall-class failures that open the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open trial")
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "shutdown budget for draining in-flight jobs")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := service.NewServer(service.Options{
-		Workers:    *workers,
-		QueueCap:   *queue,
-		JobTimeout: *timeout,
-		CacheSize:  *cacheSize,
-		RetryAfter: *retryAfter,
-		Logger:     log,
+		Workers:          *workers,
+		QueueCap:         *queue,
+		JobTimeout:       *timeout,
+		CacheSize:        *cacheSize,
+		RetryAfter:       *retryAfter,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Logger:           log,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -5,19 +5,24 @@
 //	dssim -workload fig21 -scheme process -p 4 -x 8
 //	dssim -workload nested -scheme ref -p 8
 //	dssim -file loop.do -scheme statement -p 4 -buslat 2
+//	dssim -fault 'drop=bus:0.01,seed=42' -workload recurrence -scheme process
 //
 // Workloads, schemes and the machine description are resolved through the
 // same spec vocabulary the dsserve HTTP service uses, so a name or
 // parameter that is invalid here is invalid there, with the same
-// diagnostic. Errors are one line on stderr and exit status 1.
+// diagnostic. Errors are one line on stderr and exit status 1; a run that
+// stalls under an injected fault prints the full stall report and exits 3
+// (distinguishing "the fault bit" from "the request was bad").
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/fault"
 	"github.com/csrd-repro/datasync/internal/service"
 	"github.com/csrd-repro/datasync/internal/sim"
 )
@@ -39,6 +44,7 @@ func main() {
 	memLat := flag.Int64("memlat", 2, "memory module latency")
 	modules := flag.Int("modules", 0, "memory modules (0 = one per processor)")
 	chunk := flag.Int64("chunk", 0, "iterations per dispatch (>1 selects chunked self-scheduling)")
+	faultSpec := flag.String("fault", "", "deterministic fault plan, e.g. 'drop=bus:0.01,delay=bus:0.05:6,seed=42'")
 	trace := flag.Bool("trace", false, "print a per-processor execution timeline")
 	traceWidth := flag.Int("tracewidth", 100, "timeline width in characters")
 	flag.Parse()
@@ -69,6 +75,13 @@ func main() {
 		Modules:    *modules,
 		Chunk:      *chunk,
 	}.SimConfig()
+	if *faultSpec != "" {
+		plan, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.FaultPlan = plan
+	}
 	if err := cfg.Check(); err != nil {
 		fatal(err)
 	}
@@ -81,6 +94,14 @@ func main() {
 		res, err = codegen.Run(w, sch, cfg)
 	}
 	if err != nil {
+		var se *sim.StallError
+		if errors.As(err, &se) {
+			// A diagnosed stall under an active fault plan: print the full
+			// report (multi-line) and exit 3 so scripts can tell "the
+			// injected fault bit" apart from "the request was bad".
+			fmt.Fprintf(os.Stderr, "dssim: run stalled under the fault plan\n%v\n", se)
+			os.Exit(3)
+		}
 		fatal(err)
 	}
 	st := res.Stats
@@ -97,6 +118,9 @@ func main() {
 	fmt.Printf("bus broadcasts:  %d (saved by coverage %d)\n", st.BusBroadcasts, st.BusSaved)
 	fmt.Printf("module accesses: %d (queue wait %d, max backlog %d, polls %d)\n",
 		st.ModuleAccesses, st.ModuleQueueWait, st.MaxModuleQueue, st.Polls)
+	if cfg.FaultPlan.Enabled() {
+		fmt.Printf("injected faults: %s\n", st.Faults.String())
+	}
 	fmt.Printf("serial-equivalence check: PASS\n")
 	if *trace {
 		fmt.Println()

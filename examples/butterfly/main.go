@@ -25,7 +25,7 @@ const (
 
 // run drives `rounds` phases over the given barrier and checks that no
 // participant enters round r+1 before all reached round r.
-func run(name string, await func(pid int)) time.Duration {
+func run(name string, await func(pid int) error) time.Duration {
 	state := make([]atomic.Int64, procs)
 	var violations atomic.Int64
 	start := time.Now()
@@ -42,7 +42,10 @@ func run(name string, await func(pid int)) time.Duration {
 					}
 				}
 				state[pid].Store(r)
-				await(pid)
+				if err := await(pid); err != nil {
+					fmt.Printf("MISMATCH: %s: %v\n", name, err)
+					os.Exit(1)
+				}
 			}
 		}()
 	}

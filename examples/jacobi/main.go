@@ -102,7 +102,9 @@ func withBarrier() ([]int64, time.Duration) {
 					dst[c] = (src[c-1] + src[c+1]) / 2
 				}
 				if s+1 < sweeps {
-					b.Await(w)
+					if err := b.Await(w); err != nil {
+						panic(err) // no watchdog armed: cannot happen
+					}
 				}
 			}
 		}()

@@ -108,7 +108,9 @@ func wavefront() (grid, time.Duration) {
 					}
 					c++
 				}
-				b.Await(pid)
+				if err := b.Await(pid); err != nil {
+					panic(err) // no watchdog armed: cannot happen
+				}
 			}
 		}()
 	}

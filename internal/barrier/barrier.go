@@ -163,13 +163,32 @@ func spinCfg(cfg []spin.Config) spin.Config {
 	return spin.Config{}.Normalized()
 }
 
-// await spins cond under the barrier's backoff tiers, panicking with a
-// diagnostic when the watchdog deadline (if armed) passes: a deadlocked
-// barrier fails loudly instead of hanging.
-func await(cfg spin.Config, pid int, round int64, cond func() bool) {
+// StallError reports a barrier wait that outlived the armed watchdog
+// deadline: the stuck participant, its round, and the underlying deadline
+// diagnosis. It is returned, not panicked, so an injected stall inside a
+// barrier degrades into an error the caller can report — the same shape
+// core.Runner.Run uses for livelocked waits.
+type StallError struct {
+	PID   int
+	Round int64
+	Err   *spin.DeadlineError
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("barrier: participant %d stuck in round %d: %v", e.PID, e.Round, e.Err)
+}
+
+// Unwrap exposes the deadline error to errors.As/Is.
+func (e *StallError) Unwrap() error { return e.Err }
+
+// await spins cond under the barrier's backoff tiers, returning a
+// *StallError when the watchdog deadline (if armed) passes: a deadlocked
+// barrier fails diagnosably instead of hanging or crashing the process.
+func await(cfg spin.Config, pid int, round int64, cond func() bool) error {
 	if _, err := spin.Until(cfg, cond); err != nil {
-		panic(fmt.Sprintf("barrier: participant %d stuck in round %d: %v", pid, round, err))
+		return &StallError{PID: pid, Round: round, Err: err.(*spin.DeadlineError)}
 	}
+	return nil
 }
 
 // Counter is the runtime counter barrier.
@@ -189,12 +208,12 @@ func NewCounter(p int, cfg ...spin.Config) *Counter {
 }
 
 // Await blocks participant pid until all participants of the current round
-// have arrived.
-func (b *Counter) Await(pid int) {
+// have arrived. It returns a *StallError when an armed watchdog expires.
+func (b *Counter) Await(pid int) error {
 	b.round[pid]++
 	r := b.round[pid]
 	b.count.Add(1)
-	await(b.cfg, pid, r, func() bool { return b.count.Load() >= r*b.p })
+	return await(b.cfg, pid, r, func() bool { return b.count.Load() >= r*b.p })
 }
 
 // Flags is the runtime Brooks butterfly barrier.
@@ -216,16 +235,20 @@ func NewFlags(p int, cfg ...spin.Config) *Flags {
 	return b
 }
 
-// Await blocks participant pid until all participants arrive.
-func (b *Flags) Await(pid int) {
+// Await blocks participant pid until all participants arrive. It returns a
+// *StallError when an armed watchdog expires.
+func (b *Flags) Await(pid int) error {
 	b.round[pid]++
 	r := b.round[pid]
 	for s := 0; s < b.stages; s++ {
 		partner := pid ^ (1 << s)
 		b.flags[s][pid].Store(r)
 		flag := &b.flags[s][partner]
-		await(b.cfg, pid, r, func() bool { return flag.Load() >= r })
+		if err := await(b.cfg, pid, r, func() bool { return flag.Load() >= r }); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // PCButterfly is the runtime process-counter butterfly of Fig 5.4.
@@ -243,13 +266,17 @@ func NewPCButterfly(p int, cfg ...spin.Config) *PCButterfly {
 }
 
 // Await blocks participant pid until all participants arrive: per stage,
-// set_PC(step) then spin while PC[pid xor 2^(i-1)].step < step.
-func (b *PCButterfly) Await(pid int) {
+// set_PC(step) then spin while PC[pid xor 2^(i-1)].step < step. It returns
+// a *StallError when an armed watchdog expires.
+func (b *PCButterfly) Await(pid int) error {
 	for s := 0; s < b.stages; s++ {
 		b.step[pid]++
 		step := b.step[pid]
 		b.pcs[pid].Store(step)
 		pc := &b.pcs[pid^(1<<s)]
-		await(b.cfg, pid, step, func() bool { return pc.Load() >= step })
+		if err := await(b.cfg, pid, step, func() bool { return pc.Load() >= step }); err != nil {
+			return err
+		}
 	}
+	return nil
 }

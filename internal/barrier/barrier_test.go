@@ -1,11 +1,14 @@
 package barrier
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/csrd-repro/datasync/internal/sim"
+	"github.com/csrd-repro/datasync/internal/spin"
 )
 
 func TestLog2(t *testing.T) {
@@ -125,10 +128,10 @@ func TestCounterHotSpot(t *testing.T) {
 }
 
 // runtimeBarrierHolds stresses a runtime barrier with goroutines.
-func runtimeBarrierHolds(t *testing.T, p int, rounds int64, await func(pid int)) {
+func runtimeBarrierHolds(t *testing.T, p int, rounds int64, await func(pid int) error) {
 	t.Helper()
 	state := make([]atomic.Int64, p)
-	var violations atomic.Int64
+	var violations, stalls atomic.Int64
 	var wg sync.WaitGroup
 	for pid := 0; pid < p; pid++ {
 		pid := pid
@@ -142,13 +145,19 @@ func runtimeBarrierHolds(t *testing.T, p int, rounds int64, await func(pid int))
 					}
 				}
 				state[pid].Store(r)
-				await(pid)
+				if err := await(pid); err != nil {
+					stalls.Add(1)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	if v := violations.Load(); v != 0 {
 		t.Errorf("%d runtime barrier violations", v)
+	}
+	if s := stalls.Load(); s != 0 {
+		t.Errorf("%d participants stalled (no watchdog armed)", s)
 	}
 }
 
@@ -167,9 +176,45 @@ func TestRuntimePCButterfly(t *testing.T) {
 	runtimeBarrierHolds(t, 8, 50, b.Await)
 }
 
+// TestRuntimeBarrierStallError: a missing participant under an armed
+// watchdog turns into a *StallError naming the stuck PID and round, with a
+// *spin.DeadlineError underneath — not a hang, not a panic.
+func TestRuntimeBarrierStallError(t *testing.T) {
+	cfg := spin.Config{HotSpins: 4, YieldSpins: 4,
+		SleepMin: 50 * time.Microsecond, SleepMax: 200 * time.Microsecond,
+		Watchdog: 30 * time.Millisecond}
+	barriers := map[string]func(pid int) error{
+		"counter":       NewCounter(2, cfg).Await,
+		"flags":         NewFlags(2, cfg).Await,
+		"pc-butterfly":  NewPCButterfly(2, cfg).Await,
+		"dissemination": NewDissemination(3, cfg).Await,
+	}
+	for name, await := range barriers {
+		err := await(0) // participant 1 (and 2) never arrive
+		var se *StallError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: err = %v, want *StallError", name, err)
+			continue
+		}
+		if se.PID != 0 || se.Round != 1 {
+			t.Errorf("%s: stalled PID %d round %d, want 0/1", name, se.PID, se.Round)
+		}
+		var de *spin.DeadlineError
+		if !errors.As(err, &de) {
+			t.Errorf("%s: StallError does not unwrap to *spin.DeadlineError", name)
+		}
+	}
+}
+
 func TestRuntimeSingleParticipant(t *testing.T) {
-	// Degenerate barriers must not block.
-	NewCounter(1).Await(0)
-	NewFlags(1).Await(0)
-	NewPCButterfly(1).Await(0)
+	// Degenerate barriers must not block or error.
+	if err := NewCounter(1).Await(0); err != nil {
+		t.Errorf("counter: %v", err)
+	}
+	if err := NewFlags(1).Await(0); err != nil {
+		t.Errorf("flags: %v", err)
+	}
+	if err := NewPCButterfly(1).Await(0); err != nil {
+		t.Errorf("PC butterfly: %v", err)
+	}
 }

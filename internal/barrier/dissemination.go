@@ -131,14 +131,18 @@ func NewDissemination(p int, cfg ...spin.Config) *Dissemination {
 	return b
 }
 
-// Await blocks participant pid until all participants arrive.
-func (b *Dissemination) Await(pid int) {
+// Await blocks participant pid until all participants arrive. It returns a
+// *StallError when an armed watchdog expires.
+func (b *Dissemination) Await(pid int) error {
 	b.round[pid]++
 	r := b.round[pid]
 	for s := 0; s < b.stages; s++ {
 		to := (pid + (1 << s)) % b.p
 		b.flags[s][to].Store(r)
 		flag := &b.flags[s][pid]
-		await(b.cfg, pid, r, func() bool { return flag.Load() >= r })
+		if err := await(b.cfg, pid, r, func() bool { return flag.Load() >= r }); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -96,10 +96,17 @@ func writeAffine(h io.Writer, a expr.Affine) {
 }
 
 // writeConfig encodes every Config field explicitly: adding a field to
-// sim.Config without extending this encoding is caught by
-// TestRequestKeyCoversConfig.
+// sim.Config (or a knob to fault.Plan) without extending this encoding is
+// caught by TestRequestKeyCoversConfig.
 func writeConfig(h io.Writer, c sim.Config) {
 	fmt.Fprintf(h, "config\x00P=%d bus=%d cov=%v mem=%d mod=%d sync=%d sched=%d data=%d max=%d disp=%d chunk=%d\x00",
 		c.Processors, c.BusLatency, c.BusCoverage, c.MemLatency, c.Modules,
 		c.SyncOpCost, c.SchedOverhead, c.DataLatency, c.MaxCycles, int(c.Dispatch), c.ChunkSize)
+	// The fault plan is appended only when armed: a disabled plan leaves
+	// the encoding byte-identical to the pre-fault format, so clean runs
+	// keep their established content addresses, while any armed plan gets
+	// its own address and can never poison a clean entry.
+	if c.FaultPlan.Enabled() {
+		fmt.Fprintf(h, "fault\x00%s\x00", c.FaultPlan.Canon())
+	}
 }

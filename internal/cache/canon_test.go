@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"github.com/csrd-repro/datasync/internal/fault"
 	"github.com/csrd-repro/datasync/internal/sim"
 	"github.com/csrd-repro/datasync/internal/workloads"
 )
@@ -48,6 +49,29 @@ func TestRequestKeySensitivity(t *testing.T) {
 		"MaxCycles":     func(c *sim.Config) { c.MaxCycles = 12345 },
 		"Dispatch":      func(c *sim.Config) { c.Dispatch = sim.DispatchChunked },
 		"ChunkSize":     func(c *sim.Config) { c.ChunkSize = 8 },
+		"FaultPlan":     func(c *sim.Config) { c.FaultPlan = fault.Plan{DropProb: 0.01} },
+	}
+	// Armed fault plans must be distinguished from each other too: any
+	// single-knob change to an enabled plan is a different address.
+	faultMuts := map[string]func(*fault.Plan){
+		"Seed":        func(p *fault.Plan) { p.Seed = 99 },
+		"DropProb":    func(p *fault.Plan) { p.DropProb = 0.02 },
+		"DelayProb":   func(p *fault.Plan) { p.DelayProb = 0.5 },
+		"DelayCycles": func(p *fault.Plan) { p.DelayCycles = 16 },
+		"TornOrder":   func(p *fault.Plan) { p.TornOrder = fault.OwnerFirst },
+		"StallMillis": func(p *fault.Plan) { p.StallIter = 1; p.StallMillis = 9 },
+	}
+	basePlan := fault.Plan{Seed: 1, DropProb: 0.01, DelayProb: 0.1, DelayCycles: 8, TornProb: 0.1}
+	for name, mut := range faultMuts {
+		cfg := canonCfg
+		cfg.FaultPlan = basePlan
+		mut(&cfg.FaultPlan)
+		variants["fault."+name] = RequestKey(workloads.Fig21(40, 4), "ref", cfg)
+	}
+	{
+		cfg := canonCfg
+		cfg.FaultPlan = basePlan
+		variants["fault.base"] = RequestKey(workloads.Fig21(40, 4), "ref", cfg)
 	}
 	for name, mut := range cfgMuts {
 		cfg := canonCfg
@@ -67,12 +91,34 @@ func TestRequestKeySensitivity(t *testing.T) {
 	}
 }
 
-// TestRequestKeyCoversConfig pins the field count of sim.Config: when a
-// field is added, this fails until writeConfig (and the sensitivity table
-// above) are extended, keeping the canonical encoding exhaustive.
+// TestRequestKeyCoversConfig pins the field count of sim.Config and of its
+// fault.Plan sub-struct: when a field (or fault knob) is added, this fails
+// until writeConfig / fault.Plan.Canon (and the sensitivity tables above)
+// are extended, keeping the canonical encoding exhaustive.
 func TestRequestKeyCoversConfig(t *testing.T) {
-	if n := reflect.TypeOf(sim.Config{}).NumField(); n != 11 {
-		t.Errorf("sim.Config has %d fields; update cache.writeConfig and this test (encodes 11)", n)
+	if n := reflect.TypeOf(sim.Config{}).NumField(); n != 12 {
+		t.Errorf("sim.Config has %d fields; update cache.writeConfig and this test (encodes 12)", n)
+	}
+	if n := reflect.TypeOf(fault.Plan{}).NumField(); n != 19 {
+		t.Errorf("fault.Plan has %d fields; update fault.Plan.Canon and this test (encodes 19)", n)
+	}
+}
+
+// TestDisabledPlanKeepsCleanKey: an explicitly-zero fault plan must hash to
+// the same address as no plan at all — faults off is provably zero-effect
+// on the cache.
+func TestDisabledPlanKeepsCleanKey(t *testing.T) {
+	plain := RequestKey(workloads.Fig21(40, 4), "ref", canonCfg)
+	cfg := canonCfg
+	cfg.FaultPlan = fault.Plan{}
+	if k := RequestKey(workloads.Fig21(40, 4), "ref", cfg); k != plain {
+		t.Errorf("zero fault plan changed the key: %s vs %s", k, plain)
+	}
+	// A seed alone does not arm the plan, so it must not change the key
+	// either (nothing is injected; the run is identical).
+	cfg.FaultPlan = fault.Plan{Seed: 42}
+	if k := RequestKey(workloads.Fig21(40, 4), "ref", cfg); k != plain {
+		t.Errorf("unarmed seeded plan changed the key: %s vs %s", k, plain)
 	}
 }
 

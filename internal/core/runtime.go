@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/csrd-repro/datasync/internal/fault"
 	"github.com/csrd-repro/datasync/internal/spin"
 )
 
@@ -214,6 +215,12 @@ type Runner struct {
 	// NewSet overrides the counter-set implementation; the default builds
 	// the packed PCSet. Use SplitCounters for the §6 split-field variant.
 	NewSet func(x int, o Options) CounterSet
+	// Fault, when non-nil, applies the plan's runtime faults: the stall
+	// fault (StallIter/StallMillis) holds one iteration's body for the
+	// configured duration — or until a watchdog trips — so watchdog and
+	// StallReport paths can be driven deterministically. Simulator-only
+	// faults in the plan are ignored here.
+	Fault *fault.Plan
 }
 
 // SplitCounters is a Runner.NewSet factory selecting the split-field
@@ -281,7 +288,9 @@ func (r Runner) Run(n int64, body func(it int64, p *Proc)) (*RunResult, error) {
 
 	start := time.Now()
 	var next atomic.Int64
-	var stalled atomic.Pointer[WaitError]
+	var mu sync.Mutex
+	var trips []*WaitError
+	var tripped atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < procs; w++ {
 		wg.Add(1)
@@ -290,10 +299,14 @@ func (r Runner) Run(n int64, body func(it int64, p *Proc)) (*RunResult, error) {
 			defer func() {
 				// A watchdog trip abandons this worker's remaining
 				// iterations; every other watchdog-equipped waiter then
-				// trips in turn, so Run terminates and reports the first.
+				// trips in turn, so Run terminates with every trip
+				// collected for the aggregate stall report.
 				if e := recover(); e != nil {
 					if we, ok := e.(*WaitError); ok {
-						stalled.CompareAndSwap(nil, we)
+						mu.Lock()
+						trips = append(trips, we)
+						mu.Unlock()
+						tripped.Store(true)
 						return
 					}
 					panic(e)
@@ -309,6 +322,15 @@ func (r Runner) Run(n int64, body func(it int64, p *Proc)) (*RunResult, error) {
 					hi = n
 				}
 				for it := lo; it <= hi; it++ {
+					if r.Fault != nil && r.Fault.StallsRuntime() && it == r.Fault.StallIter {
+						// Hold this iteration's PC hostage: sleep in short
+						// slices so a tripped watchdog elsewhere releases
+						// the stall early and the run still terminates.
+						deadline := time.Now().Add(r.Fault.StallDuration())
+						for time.Now().Before(deadline) && !tripped.Load() {
+							time.Sleep(time.Millisecond)
+						}
+					}
 					body(it, &Proc{s: set, iter: it})
 				}
 			}
@@ -319,8 +341,8 @@ func (r Runner) Run(n int64, body func(it int64, p *Proc)) (*RunResult, error) {
 		Iterations: n, Procs: procs, X: x, Chunk: int(chunk),
 		Elapsed: time.Since(start), Metrics: m.Snapshot(),
 	}}
-	if we := stalled.Load(); we != nil {
-		return res, we
+	if len(trips) > 0 {
+		return res, buildStallError(trips, x, r.Fault)
 	}
 	// Every iteration must have transferred its PC exactly once; the final
 	// owners are n+1 .. n+x in some slot order.

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/csrd-repro/datasync/internal/fault"
+)
+
+// StallReport is the structured diagnosis Runner.Run builds when one or more
+// watchdog-equipped waits livelock: which PC value was needed but never
+// published, who was transitively blocked on it, and — when a fault plan was
+// active — whether the injected fault explains the stall.
+type StallReport struct {
+	// Culprit is the <owner,step> the earliest stalled wait needed: the
+	// value that was never marked or transferred.
+	Culprit PC
+	// Slot is the physical PC slot the culprit value lives in.
+	Slot int
+	// Observed is the last value the stalled waiter saw in that slot.
+	Observed PC
+	// Op is the primitive that stalled on the culprit ("wait_PC", "get_PC",
+	// "transfer_PC").
+	Op string
+	// Blocked lists the iterations whose waits tripped the watchdog,
+	// ascending: everything transitively starved by the culprit before the
+	// run aborted.
+	Blocked []int64
+	// Trips is the total number of watchdog trips (>= len(Blocked); one
+	// iteration can trip only once since the trip abandons its worker).
+	Trips int
+	// FaultInjected records whether a runtime stall fault was armed for
+	// this run; FaultExplains whether that fault accounts for the culprit
+	// (the stalled iteration maps to the culprit slot and had not yet
+	// released ownership to the waited-for owner).
+	FaultInjected bool
+	FaultExplains bool
+}
+
+// String renders the report in the multi-line style of the service layer's
+// diagnosis blocks.
+func (r StallReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stall report: %s needed PC[%d] >= %v, last saw %v",
+		r.Op, r.Slot, r.Culprit, r.Observed)
+	if len(r.Blocked) > 0 {
+		fmt.Fprintf(&b, "\nblocked iterations (%d trips):", r.Trips)
+		for _, it := range r.Blocked {
+			fmt.Fprintf(&b, " %d", it)
+		}
+	}
+	switch {
+	case r.FaultExplains:
+		b.WriteString("\ndiagnosis: the injected stall fault held this PC; the stall is expected")
+	case r.FaultInjected:
+		b.WriteString("\ndiagnosis: a stall fault was armed but does not explain this slot; suspect the program")
+	default:
+		b.WriteString("\ndiagnosis: no fault was injected; suspect a missing mark/transfer in the program")
+	}
+	return b.String()
+}
+
+// StallError wraps the first (lowest-Want, hence deterministic) *WaitError
+// of an aborted run together with the aggregate report. It unwraps to the
+// *WaitError — and through it to the *spin.DeadlineError — so existing
+// errors.As callers keep working.
+type StallError struct {
+	Report StallReport
+	first  *WaitError
+}
+
+func (e *StallError) Error() string {
+	return e.first.Error() + "\n" + e.Report.String()
+}
+
+// Unwrap exposes the underlying wait error to errors.As/Is.
+func (e *StallError) Unwrap() error { return e.first }
+
+// buildStallError folds every tripped wait into one report. The culprit is
+// the trip with the smallest needed PC value (lexicographic <owner,step>):
+// the earliest link of the starved dependence chain, stable across worker
+// scheduling.
+func buildStallError(trips []*WaitError, x int, plan *fault.Plan) *StallError {
+	culprit := trips[0]
+	for _, tr := range trips[1:] {
+		if tr.Want.Pack() < culprit.Want.Pack() {
+			culprit = tr
+		}
+	}
+	seen := map[int64]bool{}
+	var blocked []int64
+	for _, tr := range trips {
+		if !seen[tr.Iter] {
+			seen[tr.Iter] = true
+			blocked = append(blocked, tr.Iter)
+		}
+	}
+	sort.Slice(blocked, func(i, j int) bool { return blocked[i] < blocked[j] })
+	rep := StallReport{
+		Culprit:  culprit.Want,
+		Slot:     culprit.Slot,
+		Observed: culprit.Last,
+		Op:       culprit.Op,
+		Blocked:  blocked,
+		Trips:    len(trips),
+	}
+	if plan != nil && plan.StallsRuntime() {
+		rep.FaultInjected = true
+		rep.FaultExplains = Fold(plan.StallIter, x) == culprit.Slot &&
+			culprit.Want.Owner >= plan.StallIter
+	}
+	return &StallError{Report: rep, first: culprit}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/fault"
+	"github.com/csrd-repro/datasync/internal/spin"
+)
+
+// stallFastSpin keeps stall tests quick: tiny tiers, short watchdog.
+var stallFastSpin = spin.Config{HotSpins: 1, YieldSpins: 1,
+	SleepMin: 50 * time.Microsecond, SleepMax: 200 * time.Microsecond}
+
+// stallChainBody is the canonical dependent loop: wait for the predecessor's
+// first statement, mark, transfer.
+func stallChainBody(it int64, p *Proc) {
+	p.Wait(1, 1)
+	p.Mark(1)
+	p.Transfer()
+}
+
+// TestRunnerStallFaultProducesReport: an injected stall of iteration 3
+// trips the watchdog of its successors and the resulting StallReport names
+// the held <owner,step>, attributes it to the fault, and the run still
+// terminates (the stall releases once a watchdog fires).
+func TestRunnerStallFaultProducesReport(t *testing.T) {
+	plan := &fault.Plan{StallIter: 3, StallMillis: 60_000}
+	r := Runner{X: 4, Procs: 2, Spin: stallFastSpin,
+		Watchdog: 25 * time.Millisecond, Fault: plan}
+	start := time.Now()
+	_, err := r.Run(8, stallChainBody)
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("stalled run took %v; the trip should release the stall", el)
+	}
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	rep := se.Report
+	if rep.Culprit.Owner != 3 || rep.Culprit.Step != 1 {
+		t.Errorf("culprit = %v, want <3,1> (the stalled iteration's unmarked step)", rep.Culprit)
+	}
+	if rep.Slot != Fold(3, 4) {
+		t.Errorf("culprit slot = %d, want Fold(3,4)=%d", rep.Slot, Fold(3, 4))
+	}
+	if !rep.FaultInjected || !rep.FaultExplains {
+		t.Errorf("stall not attributed to the injected fault: %+v", rep)
+	}
+	if len(rep.Blocked) == 0 || rep.Blocked[0] != 4 {
+		t.Errorf("blocked iterations %v, want leading 4 (the direct successor)", rep.Blocked)
+	}
+	// The wrapped chain must stay intact for existing callers.
+	var we *WaitError
+	if !errors.As(err, &we) {
+		t.Error("StallError does not unwrap to *WaitError")
+	}
+	var de *spin.DeadlineError
+	if !errors.As(err, &de) {
+		t.Error("StallError does not unwrap to *spin.DeadlineError")
+	}
+	if !strings.Contains(err.Error(), "stall report") {
+		t.Errorf("error message lacks the report: %v", err)
+	}
+}
+
+// TestRunnerStallReportDeterministic: the culprit naming is stable across
+// runs and worker counts — the min-Want trip does not depend on scheduling.
+func TestRunnerStallReportDeterministic(t *testing.T) {
+	run := func(procs int) StallReport {
+		plan := &fault.Plan{StallIter: 3, StallMillis: 60_000}
+		_, err := Runner{X: 4, Procs: procs, Spin: stallFastSpin,
+			Watchdog: 25 * time.Millisecond, Fault: plan}.Run(8, stallChainBody)
+		var se *StallError
+		if !errors.As(err, &se) {
+			t.Fatalf("procs=%d: err = %v, want *StallError", procs, err)
+		}
+		return se.Report
+	}
+	a, b, c := run(2), run(2), run(4)
+	for i, rep := range []StallReport{b, c} {
+		if rep.Culprit != a.Culprit || rep.Slot != a.Slot || rep.Op != a.Op {
+			t.Errorf("run %d: culprit %v slot %d op %q vs %v/%d/%q",
+				i, rep.Culprit, rep.Slot, rep.Op, a.Culprit, a.Slot, a.Op)
+		}
+	}
+}
+
+// TestRunnerShortStallCompletes: a stall shorter than the watchdog only
+// delays the run; no error, no report.
+func TestRunnerShortStallCompletes(t *testing.T) {
+	plan := &fault.Plan{StallIter: 2, StallMillis: 5}
+	res, err := Runner{X: 4, Procs: 2, Spin: stallFastSpin,
+		Watchdog: 2 * time.Second, Fault: plan}.Run(8, stallChainBody)
+	if err != nil {
+		t.Fatalf("short stall aborted the run: %v", err)
+	}
+	if res.Stats.Elapsed < 5*time.Millisecond {
+		t.Errorf("stall not applied: elapsed %v", res.Stats.Elapsed)
+	}
+}
+
+// TestRunnerStallWithoutFaultNotExplained: an organic livelock (no plan)
+// yields a report that does NOT blame a fault.
+func TestRunnerStallWithoutFaultNotExplained(t *testing.T) {
+	_, err := Runner{X: 2, Procs: 2, Spin: stallFastSpin, Watchdog: 20 * time.Millisecond}.
+		Run(4, func(i int64, p *Proc) {
+			p.Wait(0, 1) // own unmarked step: guaranteed livelock
+			p.Transfer()
+		})
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if se.Report.FaultInjected || se.Report.FaultExplains {
+		t.Errorf("fault blamed without a plan: %+v", se.Report)
+	}
+	if !strings.Contains(se.Report.String(), "no fault was injected") {
+		t.Errorf("report diagnosis wrong: %s", se.Report)
+	}
+}

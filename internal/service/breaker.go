@@ -1,0 +1,129 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned (mapped to 503 + Retry-After) while the
+// circuit breaker is shedding load after repeated watchdog-class failures.
+var ErrBreakerOpen = errors.New("service: circuit breaker open (repeated stalls); retry later")
+
+// Breaker is a three-state circuit breaker over stall-class job failures
+// (simulator deadlocks/livelocks diagnosed under a fault plan, runtime
+// watchdog trips). Consecutive failures open it; while open every request
+// is refused immediately with a Retry-After hint; after the cooldown one
+// trial request probes the half-open state and its outcome closes or
+// re-opens the circuit.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	failures int
+	state    BreakerState
+	openedAt time.Time
+	trial    bool // a half-open probe is in flight
+	opens    int64
+}
+
+// BreakerState enumerates the circuit states.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerHalfOpen
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// NewBreaker builds a closed breaker opening after threshold consecutive
+// failures and cooling down for the given duration.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. When refused, retryAfter is
+// the remaining cooldown. In the half-open state exactly one caller at a
+// time is admitted as the trial probe.
+func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		if rem := b.cooldown - b.now().Sub(b.openedAt); rem > 0 {
+			return false, rem
+		}
+		b.state = BreakerHalfOpen
+		b.trial = false
+		fallthrough
+	default: // half-open
+		if b.trial {
+			return false, b.cooldown
+		}
+		b.trial = true
+		return true, 0
+	}
+}
+
+// Success records a completed job: it closes a half-open circuit and resets
+// the consecutive-failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.trial = false
+	b.state = BreakerClosed
+}
+
+// Failure records a stall-class job failure: threshold consecutive ones
+// open the circuit, and a failed half-open trial re-opens it immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		if b.state != BreakerOpen {
+			b.opens++
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.failures = 0
+		b.trial = false
+	}
+}
+
+// State returns the current circuit state (cooldown expiry is observed
+// lazily by Allow, so an expired open circuit still reports open here).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the circuit has opened.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

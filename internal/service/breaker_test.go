@@ -1,0 +1,92 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock is an injectable manual clock.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time { return c.t }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *testClock) {
+	b := NewBreaker(threshold, cooldown)
+	clk := &testClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+// TestBreakerOpensAfterThreshold: consecutive failures open the circuit;
+// an intervening success resets the count.
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	b.Failure()
+	b.Failure()
+	b.Success() // resets
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker not open after 3 consecutive failures")
+	}
+	if ok, ra := b.Allow(); ok || ra <= 0 {
+		t.Errorf("open breaker admitted a request (ok=%v retryAfter=%v)", ok, ra)
+	}
+	if b.Opens() != 1 {
+		t.Errorf("opens = %d, want 1", b.Opens())
+	}
+}
+
+// TestBreakerHalfOpenTrial: after the cooldown exactly one probe is
+// admitted; its success closes the circuit, its failure re-opens it.
+func TestBreakerHalfOpenTrial(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure()
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker admitted a request")
+	}
+	clk.t = clk.t.Add(2 * time.Minute)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("cooled-down breaker refused the trial probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// A second concurrent caller must wait for the trial's verdict.
+	if ok, _ := b.Allow(); ok {
+		t.Error("half-open breaker admitted a second concurrent probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Error("successful trial did not close the circuit")
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Error("closed breaker refused a request")
+	}
+
+	// Re-open, cool down, fail the trial: straight back to open.
+	b.Failure()
+	clk.t = clk.t.Add(2 * time.Minute)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("second trial refused")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Error("failed trial did not re-open the circuit")
+	}
+	if b.Opens() != 3 {
+		t.Errorf("opens = %d, want 3", b.Opens())
+	}
+}
+
+// TestBreakerStateStrings: the metric legend matches the states.
+func TestBreakerStateStrings(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerHalfOpen.String() != "half-open" ||
+		BreakerOpen.String() != "open" {
+		t.Error("breaker state strings wrong")
+	}
+}

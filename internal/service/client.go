@@ -1,0 +1,213 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is a small retrying JSON client for dsserve. Backpressure answers
+// (429 queue-full, 503 breaker-open/draining) and transport errors are
+// retried with capped exponential backoff plus jitter; a Retry-After header
+// overrides the computed delay. Everything else is returned to the caller
+// on the first attempt.
+type Client struct {
+	// Base is the server address, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxAttempts bounds tries per request (default 5).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms); MaxDelay
+	// caps it (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// OnRetry, when set, observes each retry decision (smoke scripts log it).
+	OnRetry func(attempt int, delay time.Duration, cause string)
+}
+
+func (c *Client) withDefaults() Client {
+	out := *c
+	if out.HTTP == nil {
+		out.HTTP = http.DefaultClient
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 5
+	}
+	if out.BaseDelay <= 0 {
+		out.BaseDelay = 100 * time.Millisecond
+	}
+	if out.MaxDelay <= 0 {
+		out.MaxDelay = 2 * time.Second
+	}
+	return out
+}
+
+// PostJSON posts in to path and decodes the 200 response into out,
+// retrying retryable failures as configured.
+func (c *Client) PostJSON(ctx context.Context, path string, in, out any) error {
+	cl := c.withDefaults()
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := cl.post(ctx, path, body)
+		var retry bool
+		var retryAfter time.Duration
+		switch {
+		case err != nil:
+			lastErr, retry = err, true
+		case resp.code == http.StatusOK:
+			if out == nil {
+				return nil
+			}
+			if err := json.Unmarshal(resp.body, out); err != nil {
+				return fmt.Errorf("client: decode response: %w", err)
+			}
+			return nil
+		case resp.code == http.StatusTooManyRequests || resp.code == http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("client: %s: %d %s", path, resp.code, resp.message())
+			retry, retryAfter = true, resp.retryAfter
+		default:
+			return fmt.Errorf("client: %s: %d %s", path, resp.code, resp.message())
+		}
+		if !retry || attempt >= cl.MaxAttempts {
+			return fmt.Errorf("client: giving up after %d attempts: %w", attempt, lastErr)
+		}
+		delay := cl.backoff(attempt)
+		if retryAfter > 0 {
+			delay = retryAfter
+		}
+		if cl.OnRetry != nil {
+			cl.OnRetry(attempt, delay, lastErr.Error())
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return fmt.Errorf("client: cancelled while backing off: %w", ctx.Err())
+		}
+	}
+}
+
+// backoff is BaseDelay*2^(attempt-1) capped at MaxDelay, with half-width
+// jitter so synchronized retriers spread out.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.BaseDelay << (attempt - 1)
+	if d > c.MaxDelay || d <= 0 {
+		d = c.MaxDelay
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// clientResp is one decoded HTTP exchange.
+type clientResp struct {
+	code       int
+	body       []byte
+	retryAfter time.Duration
+}
+
+// message extracts the server's error string, falling back to raw body.
+func (r clientResp) message() string {
+	var e errorResponse
+	if json.Unmarshal(r.body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(r.body))
+}
+
+func (c *Client) post(ctx context.Context, path string, body []byte) (clientResp, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return clientResp{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return clientResp{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return clientResp{}, err
+	}
+	out := clientResp{code: resp.StatusCode, body: data}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if sec, err := strconv.Atoi(ra); err == nil && sec >= 0 {
+			out.retryAfter = time.Duration(sec) * time.Second
+		}
+	}
+	return out, nil
+}
+
+// Run posts one run request.
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	var resp RunResponse
+	if err := c.PostJSON(ctx, "/run", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SweepAll evaluates an arbitrarily large sweep grid by splitting it into
+// server-acceptable sub-grids (<= maxSweepPoints each), posting them
+// sequentially through the retrying path, and merging the answers with the
+// Pareto front recomputed over the full point set.
+func (c *Client) SweepAll(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	subs := splitSweep(req, maxSweepPoints)
+	merged := &SweepResponse{}
+	for _, sub := range subs {
+		var resp SweepResponse
+		if err := c.PostJSON(ctx, "/sweep", sub, &resp); err != nil {
+			return nil, err
+		}
+		merged.Workload = resp.Workload
+		merged.Evaluated += resp.Evaluated
+		merged.Failed += resp.Failed
+		merged.CacheHits += resp.CacheHits
+		merged.Points = append(merged.Points, resp.Points...)
+	}
+	merged.Pareto = ParetoFront(merged.Points)
+	return merged, nil
+}
+
+// gridSize is the number of points the grid expands to (empty dimensions
+// contribute one point each, holding the base request's value).
+func gridSize(g SweepGrid) int {
+	dim := func(n int) int {
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+	return dim(len(g.X)) * dim(len(g.P)) * dim(len(g.Chunk)) * dim(len(g.G)) * dim(len(g.BusLatency))
+}
+
+// splitSweep halves the longest grid dimension until every sub-request fits
+// the server's point cap. Grid order within each dimension is preserved.
+func splitSweep(req SweepRequest, limit int) []SweepRequest {
+	if gridSize(req.Grid) <= limit {
+		return []SweepRequest{req}
+	}
+	a, b := req, req
+	switch g := req.Grid; {
+	case len(g.X) >= len(g.P) && len(g.X) >= len(g.Chunk) && len(g.X) >= len(g.G) && len(g.X) >= len(g.BusLatency):
+		a.Grid.X, b.Grid.X = g.X[:len(g.X)/2], g.X[len(g.X)/2:]
+	case len(g.P) >= len(g.Chunk) && len(g.P) >= len(g.G) && len(g.P) >= len(g.BusLatency):
+		a.Grid.P, b.Grid.P = g.P[:len(g.P)/2], g.P[len(g.P)/2:]
+	case len(g.Chunk) >= len(g.G) && len(g.Chunk) >= len(g.BusLatency):
+		a.Grid.Chunk, b.Grid.Chunk = g.Chunk[:len(g.Chunk)/2], g.Chunk[len(g.Chunk)/2:]
+	case len(g.G) >= len(g.BusLatency):
+		a.Grid.G, b.Grid.G = g.G[:len(g.G)/2], g.G[len(g.G)/2:]
+	default:
+		a.Grid.BusLatency, b.Grid.BusLatency = g.BusLatency[:len(g.BusLatency)/2], g.BusLatency[len(g.BusLatency)/2:]
+	}
+	return append(splitSweep(a, limit), splitSweep(b, limit)...)
+}

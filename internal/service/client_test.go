@@ -1,0 +1,152 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientRetriesBackpressure: 503s with Retry-After are retried until
+// the server recovers; the final answer comes through.
+func TestClientRetriesBackpressure(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(errorResponse{Error: "breaker open"})
+			return
+		}
+		json.NewEncoder(w).Encode(RunResponse{Cycles: 42})
+	}))
+	defer ts.Close()
+
+	var retries int
+	c := Client{Base: ts.URL, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond,
+		OnRetry: func(int, time.Duration, string) { retries++ }}
+	var resp RunResponse
+	if err := c.PostJSON(context.Background(), "/run", RunRequest{}, &resp); err != nil {
+		t.Fatalf("retrying client gave up: %v", err)
+	}
+	if resp.Cycles != 42 {
+		t.Errorf("cycles = %d, want 42", resp.Cycles)
+	}
+	if calls.Load() != 3 || retries != 2 {
+		t.Errorf("calls = %d retries = %d, want 3/2", calls.Load(), retries)
+	}
+}
+
+// TestClientGivesUpAndFailsFast: persistent 503 exhausts MaxAttempts; a
+// 400 is terminal on the first attempt.
+func TestClientGivesUpAndFailsFast(t *testing.T) {
+	var calls atomic.Int64
+	code := http.StatusServiceUnavailable
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(errorResponse{Error: "nope"})
+	}))
+	defer ts.Close()
+
+	c := Client{Base: ts.URL, MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	if err := c.PostJSON(context.Background(), "/run", RunRequest{}, nil); err == nil {
+		t.Fatal("client succeeded against a permanently unavailable server")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("attempts = %d, want 3", calls.Load())
+	}
+
+	calls.Store(0)
+	code = http.StatusBadRequest
+	if err := c.PostJSON(context.Background(), "/run", RunRequest{}, nil); err == nil {
+		t.Fatal("client retried a 400")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("400 took %d attempts, want 1 (not retryable)", calls.Load())
+	}
+}
+
+// TestSplitSweep: oversized grids split along the longest dimension into
+// server-acceptable pieces covering every point exactly once.
+func TestSplitSweep(t *testing.T) {
+	var xs []int
+	for i := 0; i < 50; i++ {
+		xs = append(xs, i+1)
+	}
+	req := SweepRequest{Grid: SweepGrid{X: xs, P: []int{2, 4, 8}, Chunk: []int64{1, 4}}}
+	if got := gridSize(req.Grid); got != 300 {
+		t.Fatalf("gridSize = %d, want 300", got)
+	}
+	subs := splitSweep(req, 64)
+	total := 0
+	seen := map[int]bool{}
+	for _, sub := range subs {
+		n := gridSize(sub.Grid)
+		if n > 64 {
+			t.Errorf("sub-grid has %d points, cap 64", n)
+		}
+		total += n
+		for _, x := range sub.Grid.X {
+			seen[x] = true
+		}
+	}
+	if total != 300 {
+		t.Errorf("split covers %d points, want 300", total)
+	}
+	if len(seen) != 50 {
+		t.Errorf("split lost X values: %d of 50 present", len(seen))
+	}
+}
+
+// TestClientSweepAll: an oversized grid is served by multiple /sweep posts
+// and merged with a recomputed Pareto front.
+func TestClientSweepAll(t *testing.T) {
+	var posts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		var req SweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode sub-sweep: %v", err)
+		}
+		resp := SweepResponse{Workload: "fake"}
+		for _, x := range req.Grid.X {
+			resp.Evaluated++
+			// A pure trade-off curve: every point is non-dominated, so the
+			// merged front must span every sub-grid.
+			resp.Points = append(resp.Points, SweepPoint{
+				X: x, Cycles: int64(x), SyncTraffic: int64(1_000_000 - x)})
+		}
+		json.NewEncoder(w).Encode(resp)
+	}))
+	defer ts.Close()
+
+	grid := SweepGrid{}
+	for i := 0; i < 2*maxSweepPoints; i++ {
+		grid.X = append(grid.X, i+1)
+	}
+	c := Client{Base: ts.URL, BaseDelay: time.Millisecond}
+	resp, err := c.SweepAll(context.Background(), SweepRequest{Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posts.Load() < 2 {
+		t.Errorf("oversized sweep used %d posts, want >= 2", posts.Load())
+	}
+	if resp.Evaluated != 2*maxSweepPoints || len(resp.Points) != 2*maxSweepPoints {
+		t.Errorf("merged %d/%d points, want %d", resp.Evaluated, len(resp.Points), 2*maxSweepPoints)
+	}
+	// The front must be computed over the union: on a pure trade-off curve
+	// every point is non-dominated, so a front computed per sub-grid and
+	// concatenated would look the same — but one taken from only the last
+	// sub-response would not. Require full coverage in cycle order.
+	if len(resp.Pareto) != 2*maxSweepPoints {
+		t.Errorf("merged Pareto front has %d points, want %d", len(resp.Pareto), 2*maxSweepPoints)
+	} else if resp.Pareto[0].X != 1 || resp.Pareto[len(resp.Pareto)-1].X != 2*maxSweepPoints {
+		t.Errorf("front endpoints %d..%d, want 1..%d",
+			resp.Pareto[0].X, resp.Pareto[len(resp.Pareto)-1].X, 2*maxSweepPoints)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/csrd-repro/datasync/internal/cache"
 	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/fault"
 	"github.com/csrd-repro/datasync/internal/sim"
 	"github.com/csrd-repro/datasync/internal/workloads"
 )
@@ -92,6 +93,79 @@ func TestDeterminismRepeatedRuns(t *testing.T) {
 			if ref.SerialCycles != res.SerialCycles || ref.Foot != res.Foot {
 				t.Errorf("%s: run %d result metadata diverges", pair.name, i)
 			}
+		}
+	}
+}
+
+// TestEmptyFaultPlanZeroEffect: a fault plan with no armed fault (even one
+// carrying a seed) must be invisible — byte-identical cache key and
+// deep-equal stats against the clean config. This is the guarantee that
+// lets clean traffic keep hitting pre-fault cache entries.
+func TestEmptyFaultPlanZeroEffect(t *testing.T) {
+	pair := detPairs()[0]
+	cleanKey := cache.RequestKey(pair.build(), pair.scheme().Name(), detCfg)
+	cleanRes, err := codegen.Run(pair.build(), pair.scheme(), detCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seeded := detCfg
+	seeded.FaultPlan = fault.Plan{Seed: 42} // a seed alone arms nothing
+	if seeded.FaultPlan.Enabled() {
+		t.Fatal("seed-only plan reports Enabled")
+	}
+	if key := cache.RequestKey(pair.build(), pair.scheme().Name(), seeded); key != cleanKey {
+		t.Errorf("seed-only plan changed the cache key: %s vs %s", key, cleanKey)
+	}
+	res, err := codegen.Run(pair.build(), pair.scheme(), seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cleanRes.Stats, res.Stats) {
+		t.Errorf("seed-only plan changed the stats:\n%+v\nvs\n%+v", cleanRes.Stats, res.Stats)
+	}
+}
+
+// TestFaultDeterminismAcrossGOMAXPROCS: an armed seeded plan produces the
+// identical fault schedule — same injected-fault counts, same cycles, same
+// whole Stats — across GOMAXPROCS settings, and addresses a cache entry
+// distinct from the clean one. Fault schedules are a pure function of
+// (seed, site, coordinates), never of host scheduling.
+func TestFaultDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	pair := detPairs()[0]
+	faulty := detCfg
+	faulty.FaultPlan = fault.Plan{Seed: 7, DropProb: 0.02, DelayProb: 0.3, DelayCycles: 4,
+		StaleProb: 0.1, StaleCycles: 3}
+	cleanKey := cache.RequestKey(pair.build(), pair.scheme().Name(), detCfg)
+
+	var refKey cache.Key
+	var refStats *sim.Stats
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		key := cache.RequestKey(pair.build(), pair.scheme().Name(), faulty)
+		if key == cleanKey {
+			t.Fatal("armed plan shares the clean cache key")
+		}
+		res, err := codegen.Run(pair.build(), pair.scheme(), faulty)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		if res.Stats.Faults.Total() == 0 {
+			t.Fatalf("GOMAXPROCS=%d: no faults landed: %+v", procs, res.Stats.Faults)
+		}
+		if refStats == nil {
+			refKey, refStats = key, &res.Stats
+			continue
+		}
+		if key != refKey {
+			t.Errorf("faulty key differs at GOMAXPROCS=%d", procs)
+		}
+		if !reflect.DeepEqual(*refStats, res.Stats) {
+			t.Errorf("fault schedule diverges at GOMAXPROCS=%d:\n%+v\nvs\n%+v",
+				procs, *refStats, res.Stats)
 		}
 	}
 }

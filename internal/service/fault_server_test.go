@@ -1,0 +1,134 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/fault"
+)
+
+// TestRunWithFaultSpec: /run accepts a fault plan; the faulty run succeeds
+// under delays, reports its injected-fault counts, and hashes to a cache
+// address distinct from the clean run's.
+func TestRunWithFaultSpec(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2})
+	clean := RunRequest{Workload: WorkloadSpec{Name: "fig21", N: 24},
+		Scheme: SchemeSpec{Name: "process", X: 4}, Config: ConfigSpec{P: 4}}
+	faulty := clean
+	faulty.Config.Fault = &fault.Plan{Seed: 7, DelayProb: 0.3, DelayCycles: 4}
+
+	resp, body := post(t, ts, "/run", clean)
+	if resp.StatusCode != 200 {
+		t.Fatalf("clean run: %d %s", resp.StatusCode, body)
+	}
+	var cr RunResponse
+	json.Unmarshal(body, &cr)
+
+	resp, body = post(t, ts, "/run", faulty)
+	if resp.StatusCode != 200 {
+		t.Fatalf("faulty run: %d %s", resp.StatusCode, body)
+	}
+	var fr RunResponse
+	json.Unmarshal(body, &fr)
+	if fr.Key == cr.Key {
+		t.Error("faulty run shares the clean run's cache address")
+	}
+	if fr.Stats.Faults.Delays == 0 {
+		t.Errorf("faulty run reports no injected delays: %+v", fr.Stats.Faults)
+	}
+	if cr.Stats.Faults.Total() != 0 {
+		t.Errorf("clean run reports injected faults: %+v", cr.Stats.Faults)
+	}
+
+	// Identical faulty request: cache hit on the faulty address.
+	resp, body = post(t, ts, "/run", faulty)
+	var fr2 RunResponse
+	json.Unmarshal(body, &fr2)
+	if !fr2.Cached || fr2.Key != fr.Key {
+		t.Errorf("faulty rerun not cached: %+v", fr2)
+	}
+
+	mbody := getMetrics(t, ts.URL)
+	if !strings.Contains(mbody, "dsserve_injected_faults_total") ||
+		strings.Contains(mbody, "dsserve_injected_faults_total 0\n") {
+		t.Errorf("metrics missing injected-fault count:\n%s", mbody)
+	}
+}
+
+// TestBreakerOpensAndRecovers: repeated stall-class failures (total drops
+// deadlock every run) open the breaker, subsequent requests shed with 503 +
+// Retry-After, and after the cooldown a clean trial closes it again.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2,
+		BreakerThreshold: 2, BreakerCooldown: 100 * time.Millisecond})
+	stallReq := func(n int64) RunRequest {
+		return RunRequest{Workload: WorkloadSpec{Name: "recurrence", N: n, D: 2},
+			Scheme: SchemeSpec{Name: "process", X: 4},
+			Config: ConfigSpec{P: 4, Fault: &fault.Plan{Seed: 1, DropProb: 1}}}
+	}
+	// Two distinct stalling runs (distinct N so the cache cannot absorb
+	// them) reach the threshold.
+	for i := int64(0); i < 2; i++ {
+		resp, body := post(t, ts, "/run", stallReq(20+i))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("stalling run %d: status %d, want 400 (%s)", i, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "deadlock") {
+			t.Errorf("stall response lost the diagnosis: %s", body)
+		}
+	}
+	// The circuit is open: even a clean request is shed.
+	cleanReq := RunRequest{Workload: WorkloadSpec{Name: "fig21", N: 30},
+		Scheme: SchemeSpec{Name: "ref"}, Config: ConfigSpec{P: 4}}
+	resp, body := post(t, ts, "/run", cleanReq)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: status %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("breaker 503 missing Retry-After")
+	}
+	mbody := getMetrics(t, ts.URL)
+	if !strings.Contains(mbody, "dsserve_breaker_state 2") {
+		t.Errorf("metrics do not show the open breaker:\n%s", mbody)
+	}
+	if !strings.Contains(mbody, "dsserve_breaker_opens_total 1") {
+		t.Errorf("metrics missing breaker open count:\n%s", mbody)
+	}
+	if !strings.Contains(mbody, "dsserve_watchdog_trips_total 2") {
+		t.Errorf("metrics missing watchdog trips:\n%s", mbody)
+	}
+
+	// After the cooldown the half-open trial admits one request; its
+	// success closes the circuit for everyone.
+	time.Sleep(150 * time.Millisecond)
+	resp, body = post(t, ts, "/run", cleanReq)
+	if resp.StatusCode != 200 {
+		t.Fatalf("half-open trial: status %d, want 200 (%s)", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts, "/run", RunRequest{Workload: WorkloadSpec{Name: "fig21", N: 31},
+		Scheme: SchemeSpec{Name: "ref"}, Config: ConfigSpec{P: 4}})
+	if resp.StatusCode != 200 {
+		t.Fatalf("recovered breaker: status %d, want 200 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(getMetrics(t, ts.URL), "dsserve_breaker_state 0") {
+		t.Error("metrics do not show the recovered breaker")
+	}
+}
+
+func getMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	return string(b)
+}

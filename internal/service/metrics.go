@@ -66,10 +66,19 @@ func (m *Metrics) ObserveJob(scheme string, d time.Duration) {
 	m.mu.Unlock()
 }
 
-// Render writes the exposition text: pool gauges, cache counters, request
-// totals and latency histograms, with label sets sorted for deterministic
-// output.
-func (m *Metrics) Render(w io.Writer, pool *Pool, cs cache.Stats) {
+// Resilience carries the circuit-breaker and fault-injection gauges into
+// Render.
+type Resilience struct {
+	BreakerState   BreakerState
+	BreakerOpens   int64
+	WatchdogTrips  int64
+	InjectedFaults int64
+}
+
+// Render writes the exposition text: pool gauges, cache counters, breaker
+// and fault-injection state, request totals and latency histograms, with
+// label sets sorted for deterministic output.
+func (m *Metrics) Render(w io.Writer, pool *Pool, cs cache.Stats, res Resilience) {
 	fmt.Fprintf(w, "# HELP dsserve_queue_depth Jobs waiting for a worker.\n# TYPE dsserve_queue_depth gauge\ndsserve_queue_depth %d\n", pool.QueueDepth())
 	fmt.Fprintf(w, "# TYPE dsserve_queue_capacity gauge\ndsserve_queue_capacity %d\n", pool.QueueCap())
 	fmt.Fprintf(w, "# HELP dsserve_jobs_inflight Jobs currently executing.\n# TYPE dsserve_jobs_inflight gauge\ndsserve_jobs_inflight %d\n", pool.InFlight())
@@ -81,6 +90,11 @@ func (m *Metrics) Render(w io.Writer, pool *Pool, cs cache.Stats) {
 	fmt.Fprintf(w, "# TYPE dsserve_cache_misses_total counter\ndsserve_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "# HELP dsserve_cache_dedups_total Concurrent identical requests that piggybacked on an in-flight computation.\n# TYPE dsserve_cache_dedups_total counter\ndsserve_cache_dedups_total %d\n", cs.Dedups)
 	fmt.Fprintf(w, "# TYPE dsserve_cache_evictions_total counter\ndsserve_cache_evictions_total %d\n", cs.Evictions)
+
+	fmt.Fprintf(w, "# HELP dsserve_breaker_state Circuit breaker state: 0 closed, 1 half-open, 2 open.\n# TYPE dsserve_breaker_state gauge\ndsserve_breaker_state %d\n", int(res.BreakerState))
+	fmt.Fprintf(w, "# TYPE dsserve_breaker_opens_total counter\ndsserve_breaker_opens_total %d\n", res.BreakerOpens)
+	fmt.Fprintf(w, "# HELP dsserve_watchdog_trips_total Stall-class job failures (diagnosed deadlocks and livelocks).\n# TYPE dsserve_watchdog_trips_total counter\ndsserve_watchdog_trips_total %d\n", res.WatchdogTrips)
+	fmt.Fprintf(w, "# HELP dsserve_injected_faults_total Faults the simulator injected across all executed runs.\n# TYPE dsserve_injected_faults_total counter\ndsserve_injected_faults_total %d\n", res.InjectedFaults)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -30,6 +30,13 @@ type Options struct {
 	CacheSize int
 	// RetryAfter is the hint sent with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// BreakerThreshold is how many consecutive stall-class failures
+	// (diagnosed deadlocks/livelocks under a fault plan) open the circuit
+	// breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit sheds load before
+	// admitting a half-open trial (default 5s).
+	BreakerCooldown time.Duration
 	// Logger receives structured request logs (default: slog.Default).
 	Logger *slog.Logger
 }
@@ -50,6 +57,12 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
@@ -63,8 +76,15 @@ type Server struct {
 	pool     *Pool
 	cache    *cache.Cache
 	metrics  *Metrics
+	breaker  *Breaker
 	log      *slog.Logger
 	draining atomic.Bool
+
+	// watchdogTrips counts stall-class job failures (diagnosed deadlocks
+	// and livelocks); injectedFaults totals the faults the simulator
+	// actually injected across runs. Both feed /metrics.
+	watchdogTrips  atomic.Int64
+	injectedFaults atomic.Int64
 
 	// simRun executes one simulation; tests substitute it to model slow or
 	// failing jobs deterministically.
@@ -79,10 +99,14 @@ func NewServer(opts Options) *Server {
 		pool:    NewPool(opts.Workers, opts.QueueCap, opts.JobTimeout),
 		cache:   cache.New(opts.CacheSize),
 		metrics: NewMetrics(),
+		breaker: NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
 		log:     opts.Logger,
 		simRun:  codegen.Run,
 	}
 }
+
+// Breaker exposes the circuit breaker (for introspection and tests).
+func (s *Server) Breaker() *Breaker { return s.breaker }
 
 // Pool exposes the worker pool (for drain and introspection).
 func (s *Server) Pool() *Pool { return s.pool }
@@ -182,6 +206,9 @@ func (s *Server) evalRun(ctx context.Context, wl *codegen.Workload, sspec Scheme
 	if err := cfg.Check(); err != nil {
 		return RunResponse{}, false, err
 	}
+	if ok, retryAfter := s.breaker.Allow(); !ok {
+		return RunResponse{}, false, &breakerError{retryAfter: retryAfter}
+	}
 	key := cache.RequestKey(wl, sch.Name(), cfg)
 	v, hit, err := s.cache.Do(key, func() (any, error) {
 		return s.executeRun(ctx, wl, sspec, cfg)
@@ -192,6 +219,12 @@ func (s *Server) evalRun(ctx context.Context, wl *codegen.Workload, sspec Scheme
 	resp := v.(*runResult).resp
 	resp.Cached = hit
 	resp.Key = key.String()
+	if hit {
+		// A cache hit never reaches executeRun's outcome observer, but it
+		// is still a served request: without this a half-open trial that
+		// lands on the cache would leave the trial slot occupied forever.
+		s.breaker.Success()
+	}
 	return resp, hit, nil
 }
 
@@ -223,6 +256,7 @@ func (s *Server) executeRun(ctx context.Context, wl *codegen.Workload, sspec Sch
 		if err == nil {
 			s.metrics.ObserveJob(sch.Name(), time.Since(start))
 		}
+		s.observeOutcome(res, err)
 		done <- outcome{res: res, err: err}
 	})
 	if err != nil {
@@ -256,6 +290,31 @@ func (s *Server) executeRun(ctx context.Context, wl *codegen.Workload, sspec Sch
 		return nil, fmt.Errorf("service: request cancelled while awaiting job: %w", ctx.Err())
 	}
 }
+
+// observeOutcome feeds one executed job into the breaker and fault
+// counters: a stall-class failure (a diagnosed deadlock/livelock under an
+// active fault plan) is a breaker failure; a completed run is a success.
+// Other errors — bad specs, organic deadlocks — leave the circuit alone:
+// they say nothing about service health.
+func (s *Server) observeOutcome(res codegen.Result, err error) {
+	var se *sim.StallError
+	switch {
+	case errors.As(err, &se):
+		s.watchdogTrips.Add(1)
+		s.injectedFaults.Add(se.Faults.Total())
+		s.breaker.Failure()
+	case err == nil:
+		s.injectedFaults.Add(res.Stats.Faults.Total())
+		s.breaker.Success()
+	}
+}
+
+// breakerError carries the remaining cooldown into the 503 Retry-After
+// header; it unwraps to ErrBreakerOpen.
+type breakerError struct{ retryAfter time.Duration }
+
+func (e *breakerError) Error() string { return ErrBreakerOpen.Error() }
+func (e *breakerError) Unwrap() error { return ErrBreakerOpen }
 
 // ctxKeyPatient marks contexts whose submissions should wait out a full
 // queue instead of failing fast (sweep fan-out).
@@ -398,7 +457,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.Render(w, s.pool, s.cache.Snapshot())
+	s.metrics.Render(w, s.pool, s.cache.Snapshot(), Resilience{
+		BreakerState:   s.breaker.State(),
+		BreakerOpens:   s.breaker.Opens(),
+		WatchdogTrips:  s.watchdogTrips.Load(),
+		InjectedFaults: s.injectedFaults.Load(),
+	})
 }
 
 // ---- plumbing ----
@@ -423,6 +487,15 @@ func (s *Server) evalError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds()+0.5)))
 		s.httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrBreakerOpen):
+		ra := s.opts.RetryAfter
+		var be *breakerError
+		if errors.As(err, &be) && be.retryAfter > 0 {
+			ra = be.retryAfter
+		}
+		// Ceil to a whole second: a sub-second cooldown must not render 0.
+		w.Header().Set("Retry-After", strconv.Itoa(int((ra+time.Second-1)/time.Second)))
+		s.httpError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrDraining):
 		s.httpError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/fault"
 	"github.com/csrd-repro/datasync/internal/lang"
 	"github.com/csrd-repro/datasync/internal/sim"
 	"github.com/csrd-repro/datasync/internal/workloads"
@@ -140,6 +141,10 @@ type ConfigSpec struct {
 	DataLat    int64  `json:"dataLatency,omitempty"`
 	Chunk      int64  `json:"chunk,omitempty"` // >1 selects chunked self-scheduling
 	MaxCycles  int64  `json:"maxCycles,omitempty"`
+	// Fault, when set, arms the deterministic fault plan for this run.
+	// Faulty runs hash to their own cache addresses (the plan is part of
+	// the canonical key), so they never poison clean entries.
+	Fault *fault.Plan `json:"fault,omitempty"`
 }
 
 // SimConfig resolves the spec into a simulator configuration (defaults
@@ -176,6 +181,9 @@ func (c ConfigSpec) SimConfig() sim.Config {
 	if c.Chunk > 1 {
 		cfg.Dispatch = sim.DispatchChunked
 		cfg.ChunkSize = c.Chunk
+	}
+	if c.Fault != nil {
+		cfg.FaultPlan = *c.Fault
 	}
 	return cfg
 }

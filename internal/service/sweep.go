@@ -188,14 +188,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			resp.CacheHits++
 		}
 	}
-	resp.Pareto = paretoFront(resp.Points)
+	resp.Pareto = ParetoFront(resp.Points)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// paretoFront returns the non-dominated successful points, minimizing
+// ParetoFront returns the non-dominated successful points, minimizing
 // (Cycles, SyncTraffic), sorted by ascending cycles. A point is dominated
 // when another is no worse on both axes and strictly better on one.
-func paretoFront(points []SweepPoint) []SweepPoint {
+func ParetoFront(points []SweepPoint) []SweepPoint {
 	ok := make([]SweepPoint, 0, len(points))
 	for _, p := range points {
 		if p.Error == "" {

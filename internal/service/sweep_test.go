@@ -116,7 +116,7 @@ func TestParetoFront(t *testing.T) {
 		{Cycles: 200, SyncTraffic: 10},
 		{Cycles: 150, SyncTraffic: 30, Error: "x"}, // failed: excluded
 	}
-	front := paretoFront(pts)
+	front := ParetoFront(pts)
 	want := [][2]int64{{90, 90}, {100, 50}, {120, 30}, {200, 10}}
 	if len(front) != len(want) {
 		t.Fatalf("front %+v, want %v", front, want)

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"strings"
+
+	"github.com/csrd-repro/datasync/internal/fault"
 )
 
 // Config describes the simulated machine.
@@ -46,6 +48,11 @@ type Config struct {
 	// ChunkSize is the iterations per dispatch under DispatchChunked
 	// (defaults to 4). The scheduling overhead is paid once per chunk.
 	ChunkSize int64
+	// FaultPlan injects deterministic faults at the sync-bus and
+	// memory-module hooks (see package fault). The zero value injects
+	// nothing and leaves the simulation bit-for-bit identical to a build
+	// without the fault layer.
+	FaultPlan fault.Plan
 }
 
 // Dispatch is a self-scheduling policy.
@@ -102,6 +109,15 @@ func (c Config) Check() error {
 		return fmt.Errorf("sim: ChunkSize must be >= 0 (got %d; 0 means the default of 4)", c.ChunkSize)
 	case c.Dispatch != DispatchInOrder && c.Dispatch != DispatchChunked && c.Dispatch != DispatchReversed:
 		return fmt.Errorf("sim: unknown Dispatch policy %d", int(c.Dispatch))
+	}
+	if err := c.FaultPlan.Check(); err != nil {
+		return err
+	}
+	if c.FaultPlan.SlowFactor >= 2 && c.FaultPlan.SlowProc >= c.Processors {
+		return fmt.Errorf("sim: fault slowProc %d out of range for %d processors", c.FaultPlan.SlowProc, c.Processors)
+	}
+	if c.FaultPlan.HaltAtCycle >= 1 && c.FaultPlan.HaltProc >= c.Processors {
+		return fmt.Errorf("sim: fault haltProc %d out of range for %d processors", c.FaultPlan.HaltProc, c.Processors)
 	}
 	return nil
 }
@@ -186,10 +202,21 @@ func (mo *module) enqueue(now, latency int64) (start, end int64) {
 }
 
 type busEntry struct {
-	v    *syncVar
-	pe   *pending
-	tag  string
-	seen bool // started broadcasting (no longer coverable)
+	v     *syncVar
+	pe    *pending
+	tag   string
+	seen  bool  // started broadcasting (no longer coverable)
+	extra int64 // injected extra bus-hold cycles (fault delay)
+	torn  *tornSplit
+	dup   bool // injected duplicate delivery
+}
+
+// tornSplit describes an injected torn two-field commit: which half of the
+// packed word lands first and how long until the second half.
+type tornSplit struct {
+	lowBits    int
+	window     int64
+	ownerFirst bool
 }
 
 type procState int
@@ -266,6 +293,9 @@ type Machine struct {
 	syncOps   int64
 	polls     int64
 
+	inj         *fault.Injector // nil unless cfg.FaultPlan injects simulator faults
+	staleChecks int64           // deterministic coordinate for stale-read rolls
+
 	tracing     bool
 	traceEvents []TraceEvent
 
@@ -275,7 +305,11 @@ type Machine struct {
 
 // New builds a machine with the given configuration.
 func New(cfg Config) *Machine {
-	return &Machine{cfg: cfg.normalized(), mem: NewMem()}
+	m := &Machine{cfg: cfg.normalized(), mem: NewMem()}
+	if m.cfg.FaultPlan.SimEnabled() {
+		m.inj = fault.NewInjector(m.cfg.FaultPlan)
+	}
+	return m
 }
 
 // Config returns the (normalized) machine configuration.
@@ -361,9 +395,11 @@ func (m *Machine) startRun() {
 }
 
 func (m *Machine) drain() (Stats, error) {
+	maxed := false
 	for len(m.events) > 0 && m.err == nil {
 		e := heap.Pop(&m.events).(event)
 		if e.t > m.cfg.MaxCycles {
+			maxed = true
 			m.err = fmt.Errorf("sim: exceeded MaxCycles=%d (livelock?)", m.cfg.MaxCycles)
 			break
 		}
@@ -374,6 +410,11 @@ func (m *Machine) drain() (Stats, error) {
 		if blocked := m.blockedReport(); blocked != "" {
 			m.err = fmt.Errorf("sim: deadlock at cycle %d:\n%s", m.now, blocked)
 		}
+	}
+	if m.err != nil && m.inj != nil {
+		// Under an active fault plan a bare deadlock/livelock message is
+		// not enough: wrap it in the structured stall diagnosis.
+		m.err = m.stallError(m.err, maxed)
 	}
 	return m.collectStats(), m.err
 }
@@ -458,6 +499,14 @@ func (m *Machine) dispatch(p *proc) {
 // step advances a processor from the current time until it blocks,
 // schedules a future event, or finishes.
 func (m *Machine) step(p *proc) {
+	if m.inj != nil && m.inj.Halted(p.id, m.now) {
+		// The processor is dead: it never executes another op. It stays
+		// blocked so the drain-time diagnosis can name it and everything
+		// transitively depending on it.
+		p.state = stateBlocked
+		p.blockedSince = m.now
+		return
+	}
 	p.state = stateRunning
 	for {
 		if p.ip >= len(p.ops) {
@@ -473,8 +522,12 @@ func (m *Machine) step(p *proc) {
 		switch op.Kind {
 		case OpCompute:
 			p.ip++
-			p.busy += op.Cycles
-			if op.Cycles == 0 {
+			cycles := op.Cycles
+			if m.inj != nil {
+				cycles += m.inj.SlowExtra(p.id, op.Cycles)
+			}
+			p.busy += cycles
+			if cycles == 0 {
 				if op.Exec != nil {
 					op.Exec()
 				}
@@ -482,8 +535,8 @@ func (m *Machine) step(p *proc) {
 				continue
 			}
 			exec, o := op.Exec, op
-			m.addTrace(p, m.now, m.now+op.Cycles, TraceCompute, op.Tag)
-			m.at(m.now+op.Cycles, func() {
+			m.addTrace(p, m.now, m.now+cycles, TraceCompute, op.Tag)
+			m.at(m.now+cycles, func() {
 				if exec != nil {
 					exec()
 				}
@@ -515,7 +568,7 @@ func (m *Machine) step(p *proc) {
 			}
 			// Memory write: blocks through the module queue.
 			val, exec := op.Value, op.Exec
-			start, end := m.mods[v.module].enqueue(m.now, m.cfg.MemLatency)
+			start, end := m.mods[v.module].enqueue(m.now, m.memLatency(v.module, p.id))
 			_ = start
 			m.addTrace(p, m.now, end, TraceService, op.Tag)
 			p.waitMem += end - m.now
@@ -540,6 +593,20 @@ func (m *Machine) step(p *proc) {
 			v := m.vars[op.Var]
 			m.syncOps++
 			if v.visibleTo(p.id) >= op.Value {
+				if m.inj != nil && v.res == Register {
+					m.staleChecks++
+					if d := m.inj.StaleRead(m.staleChecks, p.id, int64(v.id)); d > 0 {
+						// The local register image lags the bus: the
+						// processor keeps spinning on the stale value for d
+						// cycles, then re-executes the wait.
+						p.state = stateBlocked
+						p.blockedSince = m.now
+						p.waitSync += d
+						m.addTrace(p, m.now, m.now+d, TraceWait, op.Tag)
+						m.at(m.now+d, func() { m.step(p) })
+						return
+					}
+				}
 				m.recordSync(SyncEvent{Proc: p.id, Iter: p.iter, Kind: SyncWaitDone, Var: v.id, Value: op.Value, Tag: op.Tag})
 				if op.Exec != nil {
 					op.Exec()
@@ -591,7 +658,7 @@ func (m *Machine) step(p *proc) {
 				panic(fmt.Sprintf("sim: RMW on register variable %s", v.name))
 			}
 			apply, exec, tag := op.Apply, op.Exec, op.Tag
-			_, end := m.mods[v.module].enqueue(m.now, m.cfg.MemLatency)
+			_, end := m.mods[v.module].enqueue(m.now, m.memLatency(v.module, p.id))
 			m.addTrace(p, m.now, end, TraceService, op.Tag)
 			p.waitMem += end - m.now
 			p.ip++
@@ -616,11 +683,21 @@ func (m *Machine) step(p *proc) {
 	}
 }
 
+// memLatency returns the service time for the next access to module mod,
+// including any injected slow-bank delay.
+func (m *Machine) memLatency(mod, procID int) int64 {
+	lat := m.cfg.MemLatency
+	if m.inj != nil {
+		lat += m.inj.ModuleDelay(m.mods[mod].accesses, mod, procID)
+	}
+	return lat
+}
+
 // poll issues one busy-wait probe of a memory variable through its module.
 func (m *Machine) poll(p *proc, v *syncVar, op *Op) {
 	m.polls++
 	mod := m.mods[v.module]
-	_, end := mod.enqueue(m.now, m.cfg.MemLatency)
+	_, end := mod.enqueue(m.now, m.memLatency(v.module, p.id))
 	min, exec := op.Value, op.Exec
 	tag := op.Tag
 	m.at(end, func() {
@@ -649,11 +726,17 @@ func (m *Machine) wake(v *syncVar) {
 	for _, w := range v.waiters {
 		if v.committed >= w.min {
 			w := w
-			w.p.waitSync += m.now - w.p.blockedSince
-			m.addTrace(w.p, w.p.blockedSince, m.now, TraceWait, w.tag)
-			m.recordSync(SyncEvent{Proc: w.p.id, Iter: w.p.iter, Kind: SyncWaitDone, Var: v.id, Value: w.min, Tag: w.tag})
-			w.p.ip++
-			m.at(m.now, func() { m.step(w.p) })
+			if m.inj != nil {
+				m.staleChecks++
+				if d := m.inj.StaleRead(m.staleChecks, w.p.id, int64(v.id)); d > 0 {
+					// The waiter's local register image lags this commit:
+					// it keeps spinning on the stale value for d cycles
+					// before observing the release.
+					m.at(m.now+d, func() { m.release(v, w) })
+					continue
+				}
+			}
+			m.release(v, w)
 		} else {
 			still = append(still, w)
 		}
@@ -661,8 +744,19 @@ func (m *Machine) wake(v *syncVar) {
 	v.waiters = still
 }
 
+// release resumes one satisfied register waiter, charging the full blocked
+// interval (including any injected stale-read lag) to WaitSync.
+func (m *Machine) release(v *syncVar, w *blockedWait) {
+	w.p.waitSync += m.now - w.p.blockedSince
+	m.addTrace(w.p, w.p.blockedSince, m.now, TraceWait, w.tag)
+	m.recordSync(SyncEvent{Proc: w.p.id, Iter: w.p.iter, Kind: SyncWaitDone, Var: v.id, Value: w.min, Tag: w.tag})
+	w.p.ip++
+	m.at(m.now, func() { m.step(w.p) })
+}
+
 // busIssue posts a register write on the synchronization bus.
 func (m *Machine) busIssue(v *syncVar, val int64, procID int, tag string) {
+	seq := m.busIssued
 	m.busIssued++
 	if m.cfg.BusCoverage {
 		// A queued-but-unstarted broadcast of the same variable from the
@@ -678,11 +772,31 @@ func (m *Machine) busIssue(v *syncVar, val int64, procID int, tag string) {
 	}
 	pe := &pending{proc: procID, val: val}
 	v.pend = append(v.pend, pe)
+	e := &busEntry{v: v, pe: pe, tag: tag}
+	if m.inj != nil {
+		if m.inj.DropBroadcast(seq, procID, int64(v.id)) {
+			// The broadcast is lost: the writer keeps its local image (the
+			// pend entry) but no commit ever happens, so remote waiters on
+			// this value starve. The drain-time diagnosis attributes the
+			// resulting stall to this drop.
+			return
+		}
+		e.extra = m.inj.DelayBroadcast(seq, procID, int64(v.id))
+		if lb, win, of, torn := m.inj.TornUpdate(seq, procID, int64(v.id)); torn {
+			e.torn = &tornSplit{lowBits: lb, window: win, ownerFirst: of}
+		} else {
+			e.dup = m.inj.DupBroadcast(seq, procID, int64(v.id))
+		}
+	}
 	if m.cfg.BusLatency == 0 {
-		m.commit(&busEntry{v: v, pe: pe, tag: tag})
+		if e.extra > 0 {
+			m.at(m.now+e.extra, func() { m.commit(e) })
+			return
+		}
+		m.commit(e)
 		return
 	}
-	m.busQueue = append(m.busQueue, &busEntry{v: v, pe: pe, tag: tag})
+	m.busQueue = append(m.busQueue, e)
 	if !m.busActive {
 		m.busStart()
 	}
@@ -693,7 +807,7 @@ func (m *Machine) busStart() {
 	m.busQueue = m.busQueue[1:]
 	e.seen = true
 	m.busActive = true
-	m.at(m.now+m.cfg.BusLatency, func() {
+	m.at(m.now+m.cfg.BusLatency+e.extra, func() {
 		m.commit(e)
 		m.busActive = false
 		if len(m.busQueue) > 0 {
@@ -704,17 +818,69 @@ func (m *Machine) busStart() {
 
 // commit makes a register write globally visible and wakes waiters.
 func (m *Machine) commit(e *busEntry) {
+	if e.torn != nil {
+		m.commitTorn(e)
+		return
+	}
 	v := e.v
 	if e.pe.val > v.committed {
 		v.committed = e.pe.val
 	}
-	for i, pe := range v.pend {
-		if pe == e.pe {
-			v.pend = append(v.pend[:i], v.pend[i+1:]...)
-			break
-		}
+	m.removePend(v, e.pe)
+	m.wake(v)
+	if e.dup {
+		// The duplicate delivery lands one cycle later; monotone sync
+		// variables must absorb it without effect.
+		val := e.pe.val
+		m.at(m.now+1, func() {
+			if val > v.committed {
+				v.committed = val
+			}
+			m.wake(v)
+		})
+	}
+}
+
+// commitTorn commits an injected torn two-field <owner,step> update: one
+// half of the packed word lands now, the other after the split window. The
+// writer's pend entry is kept until the second half, so only remote images
+// observe the intermediate value — as on a bus whose two-word write was
+// split. Step-first tears are the order paper §6 proves safe; owner-first
+// tears expose <newOwner, oldStep>, which can release waiters early and may
+// even move the committed value downward when the second half lands.
+func (m *Machine) commitTorn(e *busEntry) {
+	v := e.v
+	final := e.pe.val
+	mask := int64(1)<<e.torn.lowBits - 1
+	old := v.committed
+	var first int64
+	if e.torn.ownerFirst {
+		first = (final &^ mask) | (old & mask) // new owner, stale step
+	} else {
+		first = (old &^ mask) | (final & mask) // stale owner, new step
+	}
+	if first > v.committed {
+		v.committed = first
 	}
 	m.wake(v)
+	m.at(m.now+e.torn.window, func() {
+		// Second half: the variable holds exactly the written word unless a
+		// later write already advanced past it.
+		if v.committed == first || final > v.committed {
+			v.committed = final
+		}
+		m.removePend(v, e.pe)
+		m.wake(v)
+	})
+}
+
+func (m *Machine) removePend(v *syncVar, pe *pending) {
+	for i, q := range v.pend {
+		if q == pe {
+			v.pend = append(v.pend[:i], v.pend[i+1:]...)
+			return
+		}
+	}
 }
 
 func (m *Machine) collectStats() Stats {
@@ -735,6 +901,9 @@ func (m *Machine) collectStats() Stats {
 		if mo.maxQueue > s.MaxModuleQueue {
 			s.MaxModuleQueue = mo.maxQueue
 		}
+	}
+	if m.inj != nil {
+		s.Faults = m.inj.Counts()
 	}
 	return s
 }

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"github.com/csrd-repro/datasync/internal/fault"
 )
 
 // ProcStats is one processor's cycle accounting. Busy covers computation,
@@ -34,6 +36,9 @@ type Stats struct {
 	Polls int64
 	// Iterations is the total number of processes executed.
 	Iterations int64
+	// Faults counts the faults actually injected by the run's fault plan
+	// (all zero when no plan is active).
+	Faults fault.Counts
 }
 
 // BusyTotal sums busy cycles over processors.

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Chaos smoke: run every synchronization scheme under a fixed, seeded
+# drop/delay fault plan and require one of exactly two outcomes — a correct
+# result (serial-equivalence PASS, exit 0) or a diagnosed stall report
+# (exit 3). Anything else — a hang (caught by timeout), a crash, an
+# undiagnosed error — fails the gate. Then check the two determinism
+# boundaries: a guaranteed-total drop must always be a diagnosed stall, and
+# a step-first torn PC update must be tolerated (the §6 ordering argument)
+# while the same tear owner-first must NOT pass silently.
+set -euo pipefail
+
+BIN="$(mktemp -d)/dssim"
+go build -o "$BIN" ./cmd/dssim
+
+PLAN='drop=bus:0.02,delay=bus:0.05:6,seed=42'
+
+run_chaos() { # $1 = label, remaining = dssim args; allow exit 0 or diagnosed 3
+  local label="$1"; shift
+  local out rc=0
+  out=$(timeout 120 "$BIN" "$@" 2>&1) || rc=$?
+  case "$rc" in
+    0)
+      echo "$out" | grep -q 'serial-equivalence check: PASS' || {
+        echo "chaos: $label exited 0 without the equivalence check:" >&2
+        echo "$out" >&2; exit 1; }
+      echo "chaos: $label survived the plan ($(echo "$out" | grep 'injected faults' || echo 'no faults landed'))"
+      ;;
+    3)
+      echo "$out" | grep -q 'stalled under the fault plan' || {
+        echo "chaos: $label exited 3 without a stall report:" >&2
+        echo "$out" >&2; exit 1; }
+      echo "chaos: $label stalled with a diagnosis (OK)"
+      ;;
+    124)
+      echo "chaos: $label HUNG under the plan (timeout)" >&2; exit 1
+      ;;
+    *)
+      echo "chaos: $label failed with unexpected exit $rc:" >&2
+      echo "$out" >&2; exit 1
+      ;;
+  esac
+}
+
+# Every scheme, each on a workload it is defined for, same seeded plan.
+for scheme in process process-basic statement ref instance; do
+  run_chaos "$scheme/fig21" \
+    -workload fig21 -n 120 -scheme "$scheme" -p 4 -x 4 -fault "$PLAN"
+done
+run_chaos "pipeline/nested" \
+  -workload nested -n 16 -m 8 -scheme pipeline -p 4 -x 4 -g 2 -fault "$PLAN"
+run_chaos "process/recurrence" \
+  -workload recurrence -n 120 -d 2 -scheme process -p 4 -x 4 -fault "$PLAN"
+
+# Boundary 1: a total broadcast drop can never complete — it must be a
+# diagnosed stall (exit 3 with the report), deterministically.
+rc=0
+out=$(timeout 120 "$BIN" -workload recurrence -n 24 -d 2 -scheme process \
+  -p 4 -x 4 -fault 'drop=bus:1,seed=1' 2>&1) || rc=$?
+[ "$rc" = "3" ] || { echo "total drop gave exit $rc, want 3:" >&2; echo "$out" >&2; exit 1; }
+echo "$out" | grep -q 'stalled under the fault plan' || {
+  echo "total drop stalled without a report:" >&2; echo "$out" >&2; exit 1; }
+echo "chaos: total-drop boundary diagnosed"
+
+# Boundary 2 (the §6 ordering argument): tearing every <owner,step> update
+# step-first is harmless — the stale owner releases nobody, the write
+# completes, the run passes. Owner-first exposes <newOwner, oldStep>, which
+# releases a consumer before the new owner has marked the step; chunked
+# dispatch keeps that producer lagging, so the premature read corrupts data
+# and the serial-equivalence oracle must catch it.
+out=$(timeout 120 "$BIN" -workload fig21 -n 120 -scheme process -p 4 -x 2 -chunk 2 \
+  -fault 'torn=pc:1:step-first:8,seed=9' 2>&1) || {
+  echo "step-first torn updates must be tolerated:" >&2; echo "$out" >&2; exit 1; }
+echo "$out" | grep -q 'serial-equivalence check: PASS'
+echo "chaos: step-first tear tolerated"
+
+rc=0
+out=$(timeout 120 "$BIN" -workload fig21 -n 120 -scheme process -p 4 -x 2 -chunk 2 \
+  -fault 'torn=pc:1:owner-first:8,seed=9' 2>&1) || rc=$?
+if [ "$rc" = "0" ]; then
+  echo "owner-first torn updates passed silently — the §6 hazard went undetected:" >&2
+  echo "$out" >&2; exit 1
+fi
+echo "$out" | grep -q 'serial equivalence' || {
+  echo "owner-first tear failed for the wrong reason (exit $rc):" >&2
+  echo "$out" >&2; exit 1; }
+echo "chaos: owner-first tear corrupted data and was caught (exit $rc)"
+
+echo "chaos smoke: OK"

@@ -2,17 +2,20 @@
 # Smoke-test the dsserve HTTP service end to end: start it, answer one /run
 # per scheme (every scheme on a workload it is defined for), require the
 # repeated request to come from the content-addressed cache, check /verify
-# and /sweep, then SIGTERM it and require a clean drain (exit 0).
+# and /sweep, drive the circuit breaker through a full open/shed/recover
+# cycle with dsprobe, then SIGTERM it and require a clean drain (exit 0).
 set -euo pipefail
 
 ADDR="${DSSERVE_ADDR:-127.0.0.1:8077}"
 BASE="http://$ADDR"
-BIN="$(mktemp -d)/dsserve"
+BINDIR="$(mktemp -d)"
+BIN="$BINDIR/dsserve"
 LOG="$(mktemp)"
 
 go build -o "$BIN" ./cmd/dsserve
+go build -o "$BINDIR/dsprobe" ./cmd/dsprobe
 
-"$BIN" -addr "$ADDR" -workers 4 -queue 32 2>"$LOG" &
+"$BIN" -addr "$ADDR" -workers 4 -queue 32 -breaker-threshold 3 -breaker-cooldown 2s 2>"$LOG" &
 PID=$!
 cleanup() {
   kill "$PID" 2>/dev/null || true
@@ -60,6 +63,11 @@ curl -fsS -X POST "$BASE/verify" \
 curl -fsS -X POST "$BASE/sweep" \
   -d '{"workload":{"name":"fig21","n":30},"scheme":{"name":"process"},"grid":{"x":[2,4],"p":[2,4]}}' \
   | grep -q '"pareto"'
+
+# Resilience: dsprobe opens the breaker with deterministic stall-fault runs,
+# checks the 503 + Retry-After shed (and /metrics), waits out the cooldown,
+# and recovers through the retrying client.
+"$BINDIR/dsprobe" -addr "$BASE" -stalls 3 -cooldown 2s
 
 # A bad request is a 400 with a one-line diagnostic, not a crash.
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/run" \
