@@ -6,9 +6,15 @@
 //	dsserve -addr :8077 -breaker-threshold 3 -breaker-cooldown 2s &
 //	dsprobe -addr http://127.0.0.1:8077 -stalls 3 -cooldown 2s
 //
-// Exit status 0 means the full open -> shed -> recover cycle was observed;
-// any deviation is one line on stderr and exit 1. The smoke script runs it
-// against a short-cooldown server.
+// With -halt it instead probes the self-healing path: a halted-processor
+// run must be diagnosed as a stall without recovery, the same run with
+// recovery armed must complete with recovered:true, and the healed stall
+// must leave the breaker closed with the recovery counters visible in
+// /metrics.
+//
+// Exit status 0 means the probed cycle was observed; any deviation is one
+// line on stderr and exit 1. The smoke script runs both modes against a
+// short-cooldown server.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 
 	"github.com/csrd-repro/datasync/internal/fault"
 	"github.com/csrd-repro/datasync/internal/service"
+	"github.com/csrd-repro/datasync/internal/sim"
 )
 
 func main() {
@@ -32,10 +39,16 @@ func main() {
 	stalls := flag.Int("stalls", 3, "stall-inducing runs to send (match the server's -breaker-threshold)")
 	cooldown := flag.Duration("cooldown", 2*time.Second, "server's -breaker-cooldown, waited out before the recovery check")
 	timeout := flag.Duration("timeout", 60*time.Second, "overall probe budget")
+	halt := flag.Bool("halt", false, "probe the self-healing path (halt -> reclaim -> recovered success) instead of the breaker cycle")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	if *halt {
+		probeHalt(ctx, *addr)
+		return
+	}
 
 	// Phase 1: open the breaker with deterministic stalls. Total broadcast
 	// drop starves every cross-iteration wait; distinct N defeats the cache.
@@ -99,6 +112,68 @@ func main() {
 		}
 	}
 	fmt.Println("dsprobe: breaker recovered; open/shed/recover cycle verified")
+}
+
+// probeHalt drives the self-healing cycle: the same halted-processor run is
+// first diagnosed as an unhealable stall (recovery off), then healed by
+// ownership reclamation (recovery armed), and the healed stall must count
+// as a success — breaker closed, recovered-run counters exposed.
+func probeHalt(ctx context.Context, addr string) {
+	req := service.RunRequest{
+		Workload: service.WorkloadSpec{Name: "recurrence", N: 26, D: 2},
+		Scheme:   service.SchemeSpec{Name: "process", X: 4},
+		Config: service.ConfigSpec{P: 4, MaxCycles: 200_000,
+			Fault: &fault.Plan{HaltProc: 1, HaltAtCycle: 50}},
+	}
+	code, body := postOnce(ctx, addr+"/run", req)
+	if code != http.StatusBadRequest || !strings.Contains(body, "halted") {
+		fatalf("unrecovered halt: status %d body %q, want 400 naming the halted processor", code, body)
+	}
+	fmt.Println("dsprobe: unrecovered halt diagnosed")
+
+	req.Config.Recover = &sim.Recover{AfterCycles: 40}
+	code, body = postOnce(ctx, addr+"/run", req)
+	if code != http.StatusOK {
+		fatalf("recovery-armed run: status %d body %q, want 200", code, body)
+	}
+	var rr service.RunResponse
+	if err := json.Unmarshal([]byte(body), &rr); err != nil {
+		fatalf("decode recovered run: %v", err)
+	}
+	if !rr.Recovered || rr.Recovery == nil {
+		fatalf("recovery-armed run did not report recovery: %s", body)
+	}
+	fmt.Printf("dsprobe: run recovered (%s)\n", rr.Recovery)
+
+	// The healed stall is a served request: breaker closed, counters up.
+	// Checks are tolerant of prior probe phases (>=, not exact).
+	m := getText(ctx, addr+"/metrics")
+	if !strings.Contains(m, "dsserve_breaker_state 0") {
+		fatalf("breaker not closed after a healed stall:\n%s", m)
+	}
+	if n := metricValue(m, "dsserve_recovered_runs_total"); n < 1 {
+		fatalf("dsserve_recovered_runs_total = %d, want >= 1:\n%s", n, m)
+	}
+	if n := metricValue(m, "dsserve_recovery_cost_cycles_total"); n < 1 {
+		fatalf("dsserve_recovery_cost_cycles_total = %d, want >= 1:\n%s", n, m)
+	}
+	fmt.Println("dsprobe: breaker closed, recovery counters visible; halt/reclaim/recover cycle verified")
+}
+
+// metricValue extracts one un-labeled counter's value from exposition text
+// (-1 when absent).
+func metricValue(m, name string) int64 {
+	for _, line := range strings.Split(m, "\n") {
+		val, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(val, "%d", &n); err == nil {
+			return n
+		}
+	}
+	return -1
 }
 
 // postOnce posts JSON with no retries and returns status + body text.

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/csrd-repro/datasync/internal/codegen"
 	"github.com/csrd-repro/datasync/internal/fault"
@@ -45,6 +47,7 @@ func main() {
 	modules := flag.Int("modules", 0, "memory modules (0 = one per processor)")
 	chunk := flag.Int64("chunk", 0, "iterations per dispatch (>1 selects chunked self-scheduling)")
 	faultSpec := flag.String("fault", "", "deterministic fault plan, e.g. 'drop=bus:0.01,delay=bus:0.05:6,seed=42'")
+	recoverSpec := flag.String("recover", "", "reclaim halted processors: cycles-until-reclaim, optionally ',max-reclaims' (e.g. '100' or '100,2')")
 	trace := flag.Bool("trace", false, "print a per-processor execution timeline")
 	traceWidth := flag.Int("tracewidth", 100, "timeline width in characters")
 	flag.Parse()
@@ -81,6 +84,13 @@ func main() {
 			fatal(err)
 		}
 		cfg.FaultPlan = plan
+	}
+	if *recoverSpec != "" {
+		rec, err := parseRecover(*recoverSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Recover = rec
 	}
 	if err := cfg.Check(); err != nil {
 		fatal(err)
@@ -121,11 +131,36 @@ func main() {
 	if cfg.FaultPlan.Enabled() {
 		fmt.Printf("injected faults: %s\n", st.Faults.String())
 	}
+	if rec := st.Recovery; rec != nil && rec.Recovered {
+		fmt.Printf("recovered:       true\n")
+		fmt.Printf("recovery:        %s\n", rec)
+	}
 	fmt.Printf("serial-equivalence check: PASS\n")
 	if *trace {
 		fmt.Println()
 		fmt.Print(sim.TraceTimeline(events, cfg.Processors, st.Cycles, *traceWidth))
 	}
+}
+
+// parseRecover parses the -recover flag: "<afterCycles>" or
+// "<afterCycles>,<maxReclaims>". Validity beyond the syntax is checked by
+// sim.Config.Check alongside the rest of the machine description.
+func parseRecover(s string) (sim.Recover, error) {
+	var rec sim.Recover
+	after, budget, ok := strings.Cut(s, ",")
+	v, err := strconv.ParseInt(strings.TrimSpace(after), 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("recover: cycles-until-reclaim %q is not an integer", after)
+	}
+	rec.AfterCycles = v
+	if ok {
+		mx, err := strconv.Atoi(strings.TrimSpace(budget))
+		if err != nil {
+			return rec, fmt.Errorf("recover: max-reclaims %q is not an integer", budget)
+		}
+		rec.MaxReclaims = mx
+	}
+	return rec, nil
 }
 
 // fatal prints a one-line diagnostic through the renderer shared with

@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/fault"
 	"github.com/csrd-repro/datasync/internal/lang"
 	"github.com/csrd-repro/datasync/internal/sim"
 	"github.com/csrd-repro/datasync/internal/verify"
@@ -40,6 +41,9 @@ type pairResult struct {
 	Static   *verify.Report    `json:"static"`
 	Dynamic  *verify.DynReport `json:"dynamic,omitempty"`
 	RunError string            `json:"run_error,omitempty"` // -dynamic execution failure
+	// Recovered marks a -dynamic execution that completed via ownership
+	// reclamation; its trace was replayed like any other.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 func main() {
@@ -55,6 +59,8 @@ func main() {
 	maxIter := flag.Int64("maxiter", 0, "iteration window cap for static analysis (0 = default 512)")
 	dynamic := flag.Bool("dynamic", false, "also execute on the simulated machine and replay the sync trace")
 	p := flag.Int("p", 8, "processors for -dynamic execution")
+	faultSpec := flag.String("fault", "", "fault plan for -dynamic execution, e.g. 'halt=proc1:50'")
+	recoverCycles := flag.Int64("recover", 0, "with -dynamic: reclaim halted processors after this many cycles (0 = off)")
 	jsonOut := flag.Bool("json", false, "emit one JSON array of pair results instead of text")
 	flag.Parse()
 
@@ -69,6 +75,17 @@ func main() {
 
 	cfg := sim.Config{Processors: *p, BusLatency: 1, MemLatency: 2, Modules: *p,
 		SyncOpCost: 1, SchedOverhead: 1}
+	if *faultSpec != "" {
+		plan, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			usage(err)
+		}
+		cfg.FaultPlan = plan
+	}
+	cfg.Recover = sim.Recover{AfterCycles: *recoverCycles}
+	if err := cfg.Check(); err != nil {
+		usage(err)
+	}
 	var results []pairResult
 	hard := false
 	for _, w := range ws {
@@ -84,11 +101,18 @@ func main() {
 			}
 			if *dynamic {
 				// A broken scheme may fail serial equivalence or deadlock;
-				// the trace recorded up to that point is still replayed.
-				_, events, rerr := codegen.RunSyncTraced(w, s.build(), cfg)
+				// the trace recorded up to that point is still replayed. A
+				// recovered run's trace (reclaimed ownership, resumed
+				// iteration) goes through the same vector-clock replay: the
+				// resumption shares its iteration with the pre-halt prefix,
+				// so it is happens-before ordered like any other execution.
+				res, events, rerr := codegen.RunSyncTraced(w, s.build(), cfg)
 				if rerr != nil {
 					pr.RunError = rerr.Error()
 					hard = true
+				}
+				if rec := res.Stats.Recovery; rec != nil && rec.Recovered {
+					pr.Recovered = true
 				}
 				pr.Dynamic = verify.Dynamic(events)
 				if !pr.Dynamic.OK() {
@@ -113,6 +137,9 @@ func main() {
 			fmt.Print(pr.Static)
 			if pr.RunError != "" {
 				fmt.Printf("dynamic run FAILED: %s\n", pr.RunError)
+			}
+			if pr.Recovered {
+				fmt.Printf("dynamic run recovered from a halted processor; trace replayed\n")
 			}
 			if pr.Dynamic != nil {
 				fmt.Print(pr.Dynamic)

@@ -109,4 +109,10 @@ func writeConfig(h io.Writer, c sim.Config) {
 	if c.FaultPlan.Enabled() {
 		fmt.Fprintf(h, "fault\x00%s\x00", c.FaultPlan.Canon())
 	}
+	// Likewise the recovery section: a recovered run schedules differently
+	// from a clean run, so an armed Recover must address its own entry —
+	// while a disarmed one hashes identically to the pre-recovery format.
+	if c.Recover.Enabled() {
+		fmt.Fprintf(h, "recover\x00%s\x00", c.Recover.Canon())
+	}
 }

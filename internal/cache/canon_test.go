@@ -50,6 +50,24 @@ func TestRequestKeySensitivity(t *testing.T) {
 		"Dispatch":      func(c *sim.Config) { c.Dispatch = sim.DispatchChunked },
 		"ChunkSize":     func(c *sim.Config) { c.ChunkSize = 8 },
 		"FaultPlan":     func(c *sim.Config) { c.FaultPlan = fault.Plan{DropProb: 0.01} },
+		"Recover":       func(c *sim.Config) { c.Recover = sim.Recover{AfterCycles: 100} },
+	}
+	// Armed recovery sections must separate from each other too.
+	recoverMuts := map[string]func(*sim.Recover){
+		"AfterCycles": func(r *sim.Recover) { r.AfterCycles = 200 },
+		"MaxReclaims": func(r *sim.Recover) { r.MaxReclaims = 3 },
+	}
+	baseRecover := sim.Recover{AfterCycles: 100, MaxReclaims: 1}
+	for name, mut := range recoverMuts {
+		cfg := canonCfg
+		cfg.Recover = baseRecover
+		mut(&cfg.Recover)
+		variants["recover."+name] = RequestKey(workloads.Fig21(40, 4), "ref", cfg)
+	}
+	{
+		cfg := canonCfg
+		cfg.Recover = baseRecover
+		variants["recover.base"] = RequestKey(workloads.Fig21(40, 4), "ref", cfg)
 	}
 	// Armed fault plans must be distinguished from each other too: any
 	// single-knob change to an enabled plan is a different address.
@@ -91,16 +109,19 @@ func TestRequestKeySensitivity(t *testing.T) {
 	}
 }
 
-// TestRequestKeyCoversConfig pins the field count of sim.Config and of its
-// fault.Plan sub-struct: when a field (or fault knob) is added, this fails
-// until writeConfig / fault.Plan.Canon (and the sensitivity tables above)
-// are extended, keeping the canonical encoding exhaustive.
+// TestRequestKeyCoversConfig pins the field counts of sim.Config and of its
+// fault.Plan / sim.Recover sub-structs: when a field (or knob) is added,
+// this fails until writeConfig / the Canon methods (and the sensitivity
+// tables above) are extended, keeping the canonical encoding exhaustive.
 func TestRequestKeyCoversConfig(t *testing.T) {
-	if n := reflect.TypeOf(sim.Config{}).NumField(); n != 12 {
-		t.Errorf("sim.Config has %d fields; update cache.writeConfig and this test (encodes 12)", n)
+	if n := reflect.TypeOf(sim.Config{}).NumField(); n != 13 {
+		t.Errorf("sim.Config has %d fields; update cache.writeConfig and this test (encodes 13)", n)
 	}
 	if n := reflect.TypeOf(fault.Plan{}).NumField(); n != 19 {
 		t.Errorf("fault.Plan has %d fields; update fault.Plan.Canon and this test (encodes 19)", n)
+	}
+	if n := reflect.TypeOf(sim.Recover{}).NumField(); n != 2 {
+		t.Errorf("sim.Recover has %d fields; update sim.Recover.Canon and this test (encodes 2)", n)
 	}
 }
 
@@ -119,6 +140,18 @@ func TestDisabledPlanKeepsCleanKey(t *testing.T) {
 	cfg.FaultPlan = fault.Plan{Seed: 42}
 	if k := RequestKey(workloads.Fig21(40, 4), "ref", cfg); k != plain {
 		t.Errorf("unarmed seeded plan changed the key: %s vs %s", k, plain)
+	}
+	// A zero Recover is disarmed; a MaxReclaims tweak alone does not arm it
+	// (AfterCycles >= 1 is the arming condition). Recovered runs hash
+	// identically to clean runs exactly when the recovery section is off.
+	cfg = canonCfg
+	cfg.Recover = sim.Recover{}
+	if k := RequestKey(workloads.Fig21(40, 4), "ref", cfg); k != plain {
+		t.Errorf("zero Recover changed the key: %s vs %s", k, plain)
+	}
+	cfg.Recover = sim.Recover{MaxReclaims: 2}
+	if k := RequestKey(workloads.Fig21(40, 4), "ref", cfg); k != plain {
+		t.Errorf("unarmed Recover changed the key: %s vs %s", k, plain)
 	}
 }
 

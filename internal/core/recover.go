@@ -1,0 +1,478 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/spin"
+)
+
+// Ownership reclamation for the concurrent runtime.
+//
+// The paper's improved primitives make a PC a transferable token: <owner,step>
+// names an iteration, never the worker executing it. That licenses recovery —
+// when a worker stops advancing its iteration's PC, the supervisor may revoke
+// the worker's lease on every iteration it still holds, re-execute the orphan
+// on a healthy goroutine, and let the protocol continue as if the dead worker
+// had simply been slow to transfer. The reclaimed store sequence is exactly
+// the one the victim would have issued (marks ascending within the owner,
+// then one transfer to <owner+X, 0>), so the lexicographic <owner,step> order
+// every waiter relies on is preserved.
+//
+// Mechanics: every primitive call in a recovery-enabled run flows through a
+// per-worker view. A watchdog trip inside a view does not abort the run;
+// instead the view reports the stalled wait to the supervisor, which
+//   1. re-checks the slot (the stall may have healed while the reporter
+//      waited for the supervisor lock),
+//   2. identifies the culprit iteration — the slot's current owner, which by
+//      the protocol has not transferred — and the live worker whose claimed
+//      chunk contains it,
+//   3. raises that worker's revocation fence at the culprit: every op the
+//      zombie issues for iterations at or past the fence is dropped, and the
+//      worker exits at its next checkpoint,
+//   4. re-executes the culprit and the confiscated chunk residue inline on
+//      the reporting worker (skipping iterations that already transferred),
+//   5. lets the reporter retry its wait with a fresh watchdog budget.
+// Attempts are bounded; when the budget is spent (or no live worker claims
+// the culprit) the run aborts with a *RecoveryExhaustedError naming the
+// unreclaimable slot.
+//
+// The fence closes the zombie's store window at op granularity: an op whose
+// fence check passed immediately before the fence was raised can still land.
+// The runtime's own stall fault parks before the body, so driven scenarios
+// never hit that window; bodies that must be bulletproof against it should
+// write idempotently per iteration or consult Proc.Revoked before their
+// side effects.
+
+// DefaultRecoverWatchdog bounds a single wait when Runner.Recover is set
+// without an explicit watchdog — recovery cannot act on a stall it never
+// hears about.
+const DefaultRecoverWatchdog = 250 * time.Millisecond
+
+// DefaultRecoverAttempts is the reclamation budget when Runner.RecoverAttempts
+// is zero.
+const DefaultRecoverAttempts = 4
+
+// fenceLive marks an unrevoked worker: every iteration is below the fence.
+const fenceLive = int64(math.MaxInt64)
+
+// RecoveryReport describes what the supervisor did to finish the run:
+// which slots had ownership reclaimed, which iterations were re-executed or
+// reassigned from confiscated chunks, who was quarantined, and the wall-clock
+// cost of the repairs.
+type RecoveryReport struct {
+	// Recovered is true when every reclamation succeeded and the run
+	// completed; false on a report attached to an exhaustion error.
+	Recovered bool `json:"recovered"`
+	// Attempts counts reclamations performed.
+	Attempts int `json:"attempts"`
+	// ReclaimedSlots lists the PC slots whose ownership was reclaimed, in
+	// repair order.
+	ReclaimedSlots []int `json:"reclaimedSlots,omitempty"`
+	// Reexecuted lists the culprit iterations run again on a healthy worker.
+	Reexecuted []int64 `json:"reexecuted,omitempty"`
+	// Reassigned counts confiscated chunk-residue iterations executed by
+	// repairs beyond the culprits themselves.
+	Reassigned int64 `json:"reassigned,omitempty"`
+	// Quarantined lists the workers whose leases were revoked.
+	Quarantined []int `json:"quarantined,omitempty"`
+	// Elapsed is the total wall-clock time spent inside repairs.
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// RecoveryExhaustedError is returned when recovery was armed but could not
+// heal the run: the reclamation budget is spent, or the stalled slot's
+// culprit iteration has no live claimant to reclaim it from. The partial
+// report shows what was reclaimed before giving up.
+type RecoveryExhaustedError struct {
+	// Slot is the unreclaimable PC slot; Have/Want its observed and needed
+	// <owner,step> at the final failed wait.
+	Slot int `json:"slot"`
+	Have PC  `json:"have"`
+	Want PC  `json:"want"`
+	// Attempts is how many reclamations were performed before giving up.
+	Attempts int `json:"attempts"`
+	// Reason says why no further reclamation was possible.
+	Reason string `json:"reason"`
+	// Report is the partial recovery report (Recovered false).
+	Report *RecoveryReport `json:"report,omitempty"`
+	// Cause is the wait whose repair was refused.
+	Cause *WaitError `json:"-"`
+}
+
+func (e *RecoveryExhaustedError) Error() string {
+	return fmt.Sprintf("core: recovery gave up after %d reclamation(s): slot %d unreclaimable (have %v, want >= %v): %s",
+		e.Attempts, e.Slot, e.Have, e.Want, e.Reason)
+}
+
+// Unwrap exposes the failed wait to errors.As/Is.
+func (e *RecoveryExhaustedError) Unwrap() error {
+	if e.Cause == nil {
+		return nil
+	}
+	return e.Cause
+}
+
+// workerClaim publishes what a worker currently holds. lo/hi are written
+// under the supervisor lock (so the repair scan always sees a consistent
+// chunk); cur advances lock-free as the worker moves through it.
+type workerClaim struct {
+	lo, hi int64
+	cur    atomic.Int64
+}
+
+// repairSpan is an iteration range currently being re-executed by a repair.
+type repairSpan struct{ lo, hi int64 }
+
+type supervisor struct {
+	set  CounterSet
+	x    int64
+	body func(it int64, p *Proc)
+	max  int
+
+	claims []workerClaim
+	fences []atomic.Int64
+
+	aborted atomic.Bool
+
+	mu       sync.Mutex
+	abortErr *RecoveryExhaustedError
+	attempts int
+	spans    []*repairSpan
+	report   RecoveryReport
+}
+
+func newSupervisor(set CounterSet, x int, body func(int64, *Proc), procs, max int) *supervisor {
+	sv := &supervisor{set: set, x: int64(x), body: body, max: max,
+		claims: make([]workerClaim, procs), fences: make([]atomic.Int64, procs)}
+	for w := range sv.fences {
+		sv.fences[w].Store(fenceLive)
+	}
+	return sv
+}
+
+func (sv *supervisor) fence(w int) int64 { return sv.fences[w].Load() }
+
+// claimChunk publishes a worker's next chunk under the lock, refusing when
+// the worker has been quarantined or the run aborted — serializing the claim
+// against fence raises closes the window where a freshly-quarantined zombie
+// could grab (and then silently drop) new work.
+func (sv *supervisor) claimChunk(w int, next *atomic.Int64, chunk, n int64) (lo, hi int64, ok bool) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.aborted.Load() || sv.fences[w].Load() != fenceLive {
+		return 0, 0, false
+	}
+	hi = next.Add(chunk)
+	lo = hi - chunk + 1
+	if lo > n {
+		return 0, 0, false
+	}
+	if hi > n {
+		hi = n
+	}
+	sv.claims[w].lo, sv.claims[w].hi = lo, hi
+	sv.claims[w].cur.Store(lo)
+	return lo, hi, true
+}
+
+// abortLocked records the run's terminal recovery failure and panics with
+// it. Callers hold sv.mu.
+func (sv *supervisor) abortLocked(we *WaitError, have PC, reason string) {
+	rep := sv.report
+	err := &RecoveryExhaustedError{Slot: we.Slot, Have: have, Want: we.Want,
+		Attempts: sv.attempts, Reason: reason, Report: &rep, Cause: we}
+	sv.abortErr = err
+	sv.aborted.Store(true)
+	sv.mu.Unlock()
+	panic(err)
+}
+
+// repair handles one tripped wait. It either heals the stall (reclaiming
+// ownership and re-executing the culprit's remaining claim inline on the
+// calling goroutine), observes that a concurrent repair already covers it,
+// or panics with the run's *RecoveryExhaustedError. own is the span the
+// caller is itself re-executing (nil for plain workers): a culprit inside
+// the caller's own span means the repair cannot make progress on its own
+// reclaimed work, which is terminal.
+func (sv *supervisor) repair(we *WaitError, own *repairSpan) {
+	sv.mu.Lock()
+	if sv.abortErr != nil {
+		err := sv.abortErr
+		sv.mu.Unlock()
+		panic(err)
+	}
+	// Healed while the reporter waited for the lock (a finished repair, or
+	// the stalled worker limping forward on its own)?
+	have := sv.set.Load(we.Slot)
+	if have.Pack() >= we.Want.Pack() {
+		sv.mu.Unlock()
+		return
+	}
+	// The culprit is the slot's current owner: by the protocol that
+	// iteration has not transferred, and everything later on this slot —
+	// including the reporter — is stuck behind it.
+	culprit := have.Owner
+	for _, sp := range sv.spans {
+		if sp.lo <= culprit && culprit <= sp.hi {
+			if sp == own {
+				sv.abortLocked(we, have, fmt.Sprintf(
+					"re-execution of reclaimed iteration %d is itself stalled; the claim cannot be healed", culprit))
+			}
+			// Another repair is re-executing it; let the reporter retry its
+			// wait with a fresh watchdog budget.
+			sv.mu.Unlock()
+			return
+		}
+	}
+	// Find the worker whose claimed chunk still holds the culprit. A worker
+	// already fenced above the culprit is re-quarantined deeper: its fence
+	// lowers to the culprit and the new span stops where the earlier one
+	// begins, so concurrent repairs never share an iteration.
+	victim := -1
+	var reHi int64
+	for w := range sv.claims {
+		c := &sv.claims[w]
+		f := sv.fences[w].Load()
+		if c.cur.Load() <= culprit && culprit <= c.hi && culprit < f {
+			victim = w
+			reHi = c.hi
+			if f != fenceLive && f-1 < reHi {
+				reHi = f - 1
+			}
+			break
+		}
+	}
+	if victim < 0 {
+		sv.abortLocked(we, have, fmt.Sprintf("no live worker claims iteration %d; nothing to reclaim", culprit))
+	}
+	if sv.attempts >= sv.max {
+		sv.abortLocked(we, have, fmt.Sprintf("the reclamation budget (%d) is spent", sv.max))
+	}
+	sv.attempts++
+	sv.fences[victim].Store(culprit)
+	sp := &repairSpan{lo: culprit, hi: reHi}
+	sv.spans = append(sv.spans, sp)
+	sv.report.Attempts = sv.attempts
+	sv.report.ReclaimedSlots = append(sv.report.ReclaimedSlots, we.Slot)
+	sv.report.Quarantined = append(sv.report.Quarantined, victim)
+	sv.mu.Unlock()
+
+	// Re-execute the orphan and the confiscated residue in order on this
+	// goroutine, with an unrevocable view carrying the span: nested stalls
+	// report back here recursively, so a transitive chain of dead owners
+	// heals one hop per attempt. Iterations that already transferred (the
+	// victim beat the fence to the finish) are skipped — ownership
+	// serializes per-slot stores, so a completed iteration must never be
+	// re-run.
+	start := time.Now()
+	view := &recView{sv: sv, w: -1, span: sp}
+	var reexec []int64
+	var reassigned int64
+	for it := sp.lo; it <= sp.hi; it++ {
+		if sv.set.Load(Fold(it, int(sv.x))).Owner > it {
+			continue
+		}
+		sv.body(it, &Proc{s: view, iter: it})
+		if it == culprit {
+			reexec = append(reexec, it)
+		} else {
+			reassigned++
+		}
+	}
+	sv.mu.Lock()
+	sv.report.Reexecuted = append(sv.report.Reexecuted, reexec...)
+	sv.report.Reassigned += reassigned
+	sv.report.Elapsed += time.Since(start)
+	for i, s := range sv.spans {
+		if s == sp {
+			sv.spans = append(sv.spans[:i], sv.spans[i+1:]...)
+			break
+		}
+	}
+	sv.mu.Unlock()
+}
+
+// finish returns the report (nil when nothing was reclaimed) and the abort
+// error, if the run gave up.
+func (sv *supervisor) finish() (*RecoveryReport, error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	var rep *RecoveryReport
+	if sv.attempts > 0 || sv.abortErr != nil {
+		r := sv.report
+		r.Recovered = sv.abortErr == nil
+		rep = &r
+	}
+	if sv.abortErr != nil {
+		return rep, sv.abortErr
+	}
+	return rep, nil
+}
+
+// recView is the per-worker CounterSet view of a recovery-enabled run:
+// ops from a revoked lease are dropped, and a tripped wait is routed to the
+// supervisor for repair instead of aborting the run. w is -1 for a repair
+// executor, whose lease is never revoked and whose active span travels with
+// the view.
+type recView struct {
+	sv   *supervisor
+	w    int
+	span *repairSpan
+}
+
+func (v *recView) revoked(iter int64) bool {
+	return v.w >= 0 && iter >= v.sv.fences[v.w].Load()
+}
+
+func (v *recView) X() int           { return v.sv.set.X() }
+func (v *recView) Load(slot int) PC { return v.sv.set.Load(slot) }
+
+func (v *recView) Wait(iter, dist, step int64) {
+	if v.revoked(iter) {
+		return
+	}
+	v.guard(iter, func() { v.sv.set.Wait(iter, dist, step) })
+}
+
+func (v *recView) Mark(iter, step int64) {
+	if v.revoked(iter) {
+		return
+	}
+	v.sv.set.Mark(iter, step)
+}
+
+func (v *recView) Transfer(iter int64) {
+	if v.revoked(iter) {
+		return
+	}
+	v.guard(iter, func() { v.sv.set.Transfer(iter) })
+}
+
+// guard runs one potentially-blocking primitive, converting watchdog trips
+// into repair requests and retrying the op once the supervisor has dealt
+// with the stall (the retry gets a fresh watchdog budget). An op whose lease
+// was revoked while it was blocked is dropped rather than retried.
+func (v *recView) guard(iter int64, op func()) {
+	for {
+		we := tripOf(op)
+		if we == nil {
+			return
+		}
+		if v.revoked(iter) {
+			return
+		}
+		v.sv.repair(we, v.span)
+	}
+}
+
+// tripOf invokes op and converts a *WaitError panic into a return value;
+// any other panic propagates.
+func tripOf(op func()) (we *WaitError) {
+	defer func() {
+		if e := recover(); e != nil {
+			w, ok := e.(*WaitError)
+			if !ok {
+				panic(e)
+			}
+			we = w
+		}
+	}()
+	op()
+	return nil
+}
+
+// Revoked reports whether this iteration's execution lost its lease to the
+// recovery supervisor: another worker owns (or already finished) the
+// iteration, so the body should suppress its side effects. Always false
+// outside recovery-enabled runs.
+func (p *Proc) Revoked() bool {
+	if v, ok := p.s.(*recView); ok {
+		return v.revoked(p.iter)
+	}
+	return false
+}
+
+// runRecover is Run with the ownership-reclamation supervisor in the loop.
+// The defaulted parameters are those Run already resolved.
+func (r Runner) runRecover(n int64, body func(it int64, p *Proc), procs, x int,
+	chunk int64, cfg spin.Config, m *Metrics, mk func(int, Options) CounterSet) (*RunResult, error) {
+	if cfg.Watchdog <= 0 {
+		cfg.Watchdog = DefaultRecoverWatchdog
+	}
+	maxAttempts := r.RecoverAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultRecoverAttempts
+	}
+	set := mk(x, Options{Spin: cfg, Metrics: m})
+	sv := newSupervisor(set, x, body, procs, maxAttempts)
+
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				// The supervisor recorded the abort before panicking; the
+				// worker just stops. Anything else is a real bug.
+				if e := recover(); e != nil {
+					if _, ok := e.(*RecoveryExhaustedError); ok {
+						return
+					}
+					panic(e)
+				}
+			}()
+			view := &recView{sv: sv, w: w}
+			for {
+				lo, hi, ok := sv.claimChunk(w, &next, chunk, n)
+				if !ok {
+					return
+				}
+				for it := lo; it <= hi; it++ {
+					if sv.aborted.Load() || sv.fence(w) <= it {
+						return
+					}
+					sv.claims[w].cur.Store(it)
+					if r.Fault != nil && r.Fault.StallsRuntime() && it == r.Fault.StallIter {
+						// Hold this iteration hostage — until the stall
+						// duration passes, the run aborts, or the supervisor
+						// revokes this worker's lease.
+						deadline := time.Now().Add(r.Fault.StallDuration())
+						for time.Now().Before(deadline) && !sv.aborted.Load() && sv.fence(w) > it {
+							time.Sleep(time.Millisecond)
+						}
+						// Revoked or aborted while parked: never run the
+						// body, so the repair's re-execution is the only
+						// writer this iteration ever has.
+						if sv.aborted.Load() || sv.fence(w) <= it {
+							return
+						}
+					}
+					body(it, &Proc{s: view, iter: it})
+				}
+				sv.claims[w].cur.Store(hi + 1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &RunResult{Set: set, Stats: RunStats{
+		Iterations: n, Procs: procs, X: x, Chunk: int(chunk),
+		Elapsed: time.Since(start), Metrics: m.Snapshot(),
+	}}
+	rep, err := sv.finish()
+	res.Stats.Recovery = rep
+	if err != nil {
+		return res, err
+	}
+	if err := checkTransfers(set, n, x); err != nil {
+		return res, err
+	}
+	return res, nil
+}

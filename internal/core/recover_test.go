@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/fault"
+)
+
+// TestRecoverHealsStalledWorker: the same 60-second stall that aborts the
+// run in TestRunnerStallFaultProducesReport completes under recovery — the
+// supervisor reclaims the stalled iteration's ownership, re-executes it, and
+// the run finishes promptly with an exact result and a report.
+func TestRecoverHealsStalledWorker(t *testing.T) {
+	const n = 16
+	out := make([]int64, n)
+	body := func(it int64, p *Proc) {
+		p.Wait(1, 1)
+		p.Mark(1)
+		if !p.Revoked() {
+			out[it-1] = it * 2
+		}
+		p.Transfer()
+	}
+	plan := &fault.Plan{StallIter: 5, StallMillis: 60_000}
+	r := Runner{X: 4, Procs: 2, Chunk: 2, Spin: stallFastSpin,
+		Watchdog: 25 * time.Millisecond, Fault: plan,
+		Recover: true, RecoverAttempts: 6}
+	start := time.Now()
+	res, err := r.Run(n, body)
+	if err != nil {
+		t.Fatalf("recovery-armed run failed: %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("recovered run took %v; the fence should release the stall", el)
+	}
+	for i, v := range out {
+		if v != int64(i+1)*2 {
+			t.Errorf("out[%d] = %d, want %d", i, v, int64(i+1)*2)
+		}
+	}
+	rep := res.Stats.Recovery
+	if rep == nil || !rep.Recovered {
+		t.Fatalf("no recovery report on a healed run: %+v", rep)
+	}
+	if rep.Attempts < 1 || len(rep.Reexecuted) == 0 || len(rep.Quarantined) == 0 {
+		t.Errorf("report missing the repair: %+v", rep)
+	}
+	found := false
+	for _, it := range rep.Reexecuted {
+		if it == plan.StallIter {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stalled iteration %d not among re-executed %v", plan.StallIter, rep.Reexecuted)
+	}
+	if rep.Elapsed <= 0 {
+		t.Errorf("repair cost not measured: %+v", rep)
+	}
+}
+
+// TestRecoverExhaustedNamesSlot: an organic livelock (a wait on the
+// iteration's own unmarked step) cannot be healed by reclamation — the
+// re-execution stalls on the very same wait. The run must terminate with a
+// structured exhaustion error naming the unreclaimable slot.
+func TestRecoverExhaustedNamesSlot(t *testing.T) {
+	r := Runner{X: 2, Procs: 2, Spin: stallFastSpin,
+		Watchdog: 20 * time.Millisecond, Recover: true, RecoverAttempts: 3}
+	start := time.Now()
+	res, err := r.Run(4, func(i int64, p *Proc) {
+		p.Wait(0, 1) // own unmarked step: guaranteed livelock
+		p.Transfer()
+	})
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("exhausted run took %v; it must terminate", el)
+	}
+	var re *RecoveryExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RecoveryExhaustedError", err)
+	}
+	if re.Slot < 0 || re.Slot >= 2 {
+		t.Errorf("slot %d out of range", re.Slot)
+	}
+	if re.Want.Step != 1 {
+		t.Errorf("want = %v, expected step 1 (the unmarked step)", re.Want)
+	}
+	if re.Reason == "" {
+		t.Error("exhaustion reason empty")
+	}
+	var we *WaitError
+	if !errors.As(err, &we) {
+		t.Error("exhaustion error does not unwrap to the failed wait")
+	}
+	if res.Stats.Recovery == nil || res.Stats.Recovery.Recovered {
+		t.Errorf("failed recovery must attach a non-recovered report: %+v", res.Stats.Recovery)
+	}
+}
+
+// TestRecoverProtocolViolationStructured: a body that never transfers ends
+// the run with the structured protocol-violation error (satellite: services
+// classify it apart from stalls), carrying iteration, slot and final state.
+func TestRecoverProtocolViolationStructured(t *testing.T) {
+	_, err := Runner{X: 2, Procs: 2}.Run(4, func(i int64, p *Proc) {
+		p.Mark(1) // no Transfer: protocol violation
+	})
+	var pv *ProtocolViolationError
+	if !errors.As(err, &pv) {
+		t.Fatalf("err = %v, want *ProtocolViolationError", err)
+	}
+	if pv.Iter < 1 || pv.Iter > 4 {
+		t.Errorf("violating iteration %d out of range", pv.Iter)
+	}
+	if pv.Final.Owner != pv.Iter {
+		t.Errorf("final owner %v inconsistent with iteration %d", pv.Final, pv.Iter)
+	}
+	want := "never transferred its PC"
+	if got := err.Error(); !strings.Contains(got, want) {
+		t.Errorf("message %q lost the canonical text %q", got, want)
+	}
+	// A stall is a different class entirely.
+	var se *StallError
+	if errors.As(err, &se) {
+		t.Error("protocol violation must not classify as a stall")
+	}
+}
+
+// TestRecoverRaceStress halts a pseudo-randomly chosen iteration mid-run at
+// GOMAXPROCS 1, 4 and 8 (seeded: the schedule of trips varies, the outcome
+// must not). Run with -race this validates the lease protocol: exactly one
+// writer per iteration, fence raises strictly ordered before re-execution.
+func TestRecoverRaceStress(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	rng := rand.New(rand.NewSource(41))
+
+	const n = 48
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		for rep := 0; rep < 3; rep++ {
+			stall := 2 + rng.Int63n(n-2) // in [2, n-1]: a successor exists to trip
+			out := make([]int64, n)
+			body := func(it int64, p *Proc) {
+				p.Wait(1, 1)
+				p.Mark(1)
+				if !p.Revoked() {
+					out[it-1] = it
+				}
+				p.Transfer()
+			}
+			plan := &fault.Plan{StallIter: stall, StallMillis: 60_000}
+			res, err := Runner{X: 8, Procs: 4, Chunk: 3, Spin: stallFastSpin,
+				Watchdog: 25 * time.Millisecond, Fault: plan,
+				Recover: true, RecoverAttempts: 8}.Run(n, body)
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d stall=%d: %v", procs, stall, err)
+			}
+			for i, v := range out {
+				if v != int64(i+1) {
+					t.Errorf("GOMAXPROCS=%d stall=%d: out[%d] = %d, want %d", procs, stall, i, v, i+1)
+				}
+			}
+			if res.Stats.Recovery == nil || !res.Stats.Recovery.Recovered {
+				t.Errorf("GOMAXPROCS=%d stall=%d: run did not report recovery", procs, stall)
+			}
+		}
+	}
+}
+
+// TestRecoverOffUnchanged: with Recover unset the stall path is exactly the
+// pre-recovery behavior — *StallError, no report.
+func TestRecoverOffUnchanged(t *testing.T) {
+	plan := &fault.Plan{StallIter: 3, StallMillis: 60_000}
+	res, err := Runner{X: 4, Procs: 2, Spin: stallFastSpin,
+		Watchdog: 25 * time.Millisecond, Fault: plan}.Run(8, stallChainBody)
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if res.Stats.Recovery != nil {
+		t.Errorf("recovery report on a non-recovery run: %+v", res.Stats.Recovery)
+	}
+}

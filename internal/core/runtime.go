@@ -221,6 +221,20 @@ type Runner struct {
 	// StallReport paths can be driven deterministically. Simulator-only
 	// faults in the plan are ignored here.
 	Fault *fault.Plan
+	// Recover arms the ownership-reclamation supervisor: instead of
+	// aborting the run, a tripped watchdog reclaims the stalled worker's PC
+	// ownership (the transfer_PC handoff — a PC names an iteration, not the
+	// worker running it), revokes the worker's lease, re-executes the
+	// orphan iteration and its unstarted chunk residue on the reporting
+	// worker, then retries the tripped wait. Requires a watchdog; when none
+	// is set, DefaultRecoverWatchdog applies. Body may be re-executed for a
+	// reclaimed iteration: its writes must be idempotent per iteration, or
+	// guarded with Proc.Revoked.
+	Recover bool
+	// RecoverAttempts bounds reclamations per run (defaults to
+	// DefaultRecoverAttempts). When spent, Run returns a
+	// *RecoveryExhaustedError naming the unreclaimable slot.
+	RecoverAttempts int
 }
 
 // SplitCounters is a Runner.NewSet factory selecting the split-field
@@ -236,6 +250,7 @@ type RunStats struct {
 	Chunk      int
 	Elapsed    time.Duration
 	Metrics    *MetricsSnapshot // nil unless Runner.Metrics
+	Recovery   *RecoveryReport  // nil unless Runner.Recover reclaimed ownership
 }
 
 // String renders a one-line summary plus the metrics tables when collected.
@@ -283,6 +298,9 @@ func (r Runner) Run(n int64, body func(it int64, p *Proc)) (*RunResult, error) {
 	mk := r.NewSet
 	if mk == nil {
 		mk = func(x int, o Options) CounterSet { return NewPCSetOpts(x, o) }
+	}
+	if r.Recover {
+		return r.runRecover(n, body, procs, x, chunk, cfg, m, mk)
 	}
 	set := mk(x, Options{Spin: cfg, Metrics: m})
 
@@ -346,13 +364,40 @@ func (r Runner) Run(n int64, body func(it int64, p *Proc)) (*RunResult, error) {
 	}
 	// Every iteration must have transferred its PC exactly once; the final
 	// owners are n+1 .. n+x in some slot order.
-	for k := 0; k < x; k++ {
-		if pc := set.Load(k); pc.Owner <= n {
-			return res, fmt.Errorf("core: iteration %d never transferred its PC (slot %d ended at %v)",
-				pc.Owner, k, pc)
-		}
+	if err := checkTransfers(set, n, x); err != nil {
+		return res, err
 	}
 	return res, nil
+}
+
+// ProtocolViolationError reports a run that terminated with some iteration
+// still owning its PC: body broke the transfer_PC contract (never called
+// Transfer, or not exactly once). Distinct from a stall — the run finished,
+// but its final counter state is wrong — so services and CLIs can classify
+// it as a caller bug rather than a fault-induced livelock.
+type ProtocolViolationError struct {
+	// Iter is the iteration that still owns the slot.
+	Iter int64 `json:"iter"`
+	// Slot is the physical PC slot left behind.
+	Slot int `json:"slot"`
+	// Final is the slot's final <owner,step>.
+	Final PC `json:"final"`
+}
+
+func (e *ProtocolViolationError) Error() string {
+	return fmt.Sprintf("core: iteration %d never transferred its PC (slot %d ended at %v)",
+		e.Iter, e.Slot, e.Final)
+}
+
+// checkTransfers verifies the post-run invariant that every slot's final
+// owner is past n (each of the n iterations transferred exactly once).
+func checkTransfers(set CounterSet, n int64, x int) error {
+	for k := 0; k < x; k++ {
+		if pc := set.Load(k); pc.Owner <= n {
+			return &ProtocolViolationError{Iter: pc.Owner, Slot: k, Final: pc}
+		}
+	}
+	return nil
 }
 
 // MustRun is Run for callers that treat a protocol violation as fatal: it

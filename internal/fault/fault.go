@@ -112,6 +112,12 @@ func (p Plan) SimEnabled() bool {
 // StallsRuntime reports whether the runtime-stall fault is armed.
 func (p Plan) StallsRuntime() bool { return p.StallMillis > 0 && p.StallIter >= 1 }
 
+// Halts reports whether the processor-halt fault is armed — the one fault
+// class ownership reclamation (sim.Config.Recover) can heal: a halted
+// processor's PC is a transferable token, so a recovery layer can reclaim
+// it, while drops and slowdowns have nothing to reclaim.
+func (p Plan) Halts() bool { return p.HaltAtCycle >= 1 }
+
 // StallDuration returns the armed runtime stall length.
 func (p Plan) StallDuration() time.Duration {
 	return time.Duration(p.StallMillis) * time.Millisecond

@@ -140,11 +140,39 @@ func (c *Client) post(ctx context.Context, path string, body []byte) (clientResp
 	}
 	out := clientResp{code: resp.StatusCode, body: data}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if sec, err := strconv.Atoi(ra); err == nil && sec >= 0 {
-			out.retryAfter = time.Duration(sec) * time.Second
-		}
+		out.retryAfter = parseRetryAfter(ra, time.Now())
 	}
 	return out, nil
+}
+
+// maxRetryAfter caps server-driven backoff: a far-future HTTP-date (or an
+// absurd delta) must not park the client for hours.
+const maxRetryAfter = 30 * time.Second
+
+// parseRetryAfter interprets a Retry-After value per RFC 9110 §10.2.3:
+// either non-negative delta-seconds or an HTTP-date (any format
+// http.ParseTime accepts). Garbage, negative deltas and past dates yield 0
+// — no override, the computed backoff applies; anything beyond
+// maxRetryAfter is clamped to it.
+func parseRetryAfter(ra string, now time.Time) time.Duration {
+	var d time.Duration
+	if sec, err := strconv.Atoi(ra); err == nil {
+		if sec < 0 {
+			return 0
+		}
+		d = time.Duration(sec) * time.Second
+	} else if t, err := http.ParseTime(ra); err == nil {
+		d = t.Sub(now)
+	} else {
+		return 0
+	}
+	if d <= 0 {
+		return 0
+	}
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
 }
 
 // Run posts one run request.

@@ -70,6 +70,60 @@ func TestClientGivesUpAndFailsFast(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfter: both RFC 9110 Retry-After forms are honored —
+// delta-seconds and HTTP-date — with garbage and past dates falling back to
+// the computed backoff (0) and oversized values clamped.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2024, 6, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"3", 3 * time.Second},
+		{"0", 0},
+		{"-5", 0},
+		{"9999999", maxRetryAfter}, // delta clamped
+		{now.Add(7 * time.Second).Format(http.TimeFormat), 7 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0},              // past date
+		{now.Add(2 * time.Hour).Format(http.TimeFormat), maxRetryAfter}, // date clamped
+		{now.Add(5 * time.Second).Format(time.RFC850), 5 * time.Second}, // obsolete RFC 850 form
+		{"soon", 0},
+		{"", 0},
+		{"3.5", 0}, // delta-seconds is an integer; fractions are malformed
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in, now); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestClientHonorsHTTPDateRetryAfter: a 503 whose Retry-After is an
+// HTTP-date (not delta-seconds) still drives the retry delay end to end.
+func TestClientHonorsHTTPDateRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// A date ~now: parses to <= 0 → no override, fast test.
+			w.Header().Set("Retry-After", time.Now().UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(errorResponse{Error: "draining"})
+			return
+		}
+		json.NewEncoder(w).Encode(RunResponse{Cycles: 7})
+	}))
+	defer ts.Close()
+
+	c := Client{Base: ts.URL, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	var resp RunResponse
+	if err := c.PostJSON(context.Background(), "/run", RunRequest{}, &resp); err != nil {
+		t.Fatalf("client gave up: %v", err)
+	}
+	if resp.Cycles != 7 || calls.Load() != 2 {
+		t.Errorf("cycles = %d calls = %d, want 7/2", resp.Cycles, calls.Load())
+	}
+}
+
 // TestSplitSweep: oversized grids split along the longest dimension into
 // server-acceptable pieces covering every point exactly once.
 func TestSplitSweep(t *testing.T) {

@@ -170,6 +170,87 @@ func TestFaultDeterminismAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestDisarmedRecoverZeroEffect: a disarmed Recover (even with a
+// MaxReclaims budget set) must be invisible — byte-identical cache key and
+// deep-equal stats against the clean config. Recovered runs may share
+// addresses with clean runs only when recovery cannot have happened.
+func TestDisarmedRecoverZeroEffect(t *testing.T) {
+	pair := detPairs()[0]
+	cleanKey := cache.RequestKey(pair.build(), pair.scheme().Name(), detCfg)
+	cleanRes, err := codegen.Run(pair.build(), pair.scheme(), detCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	disarmed := detCfg
+	disarmed.Recover = sim.Recover{MaxReclaims: 3} // no AfterCycles: disarmed
+	if disarmed.Recover.Enabled() {
+		t.Fatal("budget-only Recover reports Enabled")
+	}
+	if key := cache.RequestKey(pair.build(), pair.scheme().Name(), disarmed); key != cleanKey {
+		t.Errorf("disarmed Recover changed the cache key: %s vs %s", key, cleanKey)
+	}
+	res, err := codegen.Run(pair.build(), pair.scheme(), disarmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cleanRes.Stats, res.Stats) {
+		t.Errorf("disarmed Recover changed the stats:\n%+v\nvs\n%+v", cleanRes.Stats, res.Stats)
+	}
+}
+
+// TestRecoveredRunDeterministicAcrossGOMAXPROCS: a halt + armed recovery
+// yields the identical recovery schedule — same report, same whole Stats —
+// across repeats and GOMAXPROCS settings, at a cache address distinct from
+// both the clean and the halt-only configs. Reclamation is planned in
+// simulated cycles, never host time.
+func TestRecoveredRunDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	pair := detPairs()[1] // recurrence/ref: the halt blocks the chain
+	halted := detCfg
+	halted.FaultPlan = fault.Plan{HaltProc: 1, HaltAtCycle: 50}
+	recovered := halted
+	recovered.Recover = sim.Recover{AfterCycles: 40}
+	cleanKey := cache.RequestKey(pair.build(), pair.scheme().Name(), detCfg)
+	haltKey := cache.RequestKey(pair.build(), pair.scheme().Name(), halted)
+
+	var refKey cache.Key
+	var refStats *sim.Stats
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		for rep := 0; rep < 3; rep++ {
+			key := cache.RequestKey(pair.build(), pair.scheme().Name(), recovered)
+			if key == cleanKey || key == haltKey {
+				t.Fatal("armed recovery shares a clean/halt-only cache key")
+			}
+			res, err := codegen.Run(pair.build(), pair.scheme(), recovered)
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d rep %d: %v", procs, rep, err)
+			}
+			rec := res.Stats.Recovery
+			if rec == nil || !rec.Recovered {
+				t.Fatalf("GOMAXPROCS=%d rep %d: run did not recover", procs, rep)
+			}
+			if rec.Proc != 1 || rec.CostCycles != 40 {
+				t.Errorf("GOMAXPROCS=%d rep %d: report %+v, want proc 1 at cost 40", procs, rep, rec)
+			}
+			if refStats == nil {
+				refKey, refStats = key, &res.Stats
+				continue
+			}
+			if key != refKey {
+				t.Errorf("recovered key differs at GOMAXPROCS=%d", procs)
+			}
+			if !reflect.DeepEqual(*refStats, res.Stats) {
+				t.Errorf("recovery schedule diverges at GOMAXPROCS=%d rep %d:\n%+v\nvs\n%+v",
+					procs, rep, *refStats, res.Stats)
+			}
+		}
+	}
+}
+
 // TestKeyDistinguishesPairs: no two of the canonical pairs share a key
 // (content addressing must separate what the service can serve).
 func TestKeyDistinguishesPairs(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/csrd-repro/datasync/internal/fault"
+	"github.com/csrd-repro/datasync/internal/sim"
 )
 
 // TestRunWithFaultSpec: /run accepts a fault plan; the faulty run succeeds
@@ -116,6 +117,61 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	}
 	if !strings.Contains(getMetrics(t, ts.URL), "dsserve_breaker_state 0") {
 		t.Error("metrics do not show the recovered breaker")
+	}
+}
+
+// TestRunRecoversFromHalt: a halt that deadlocks the run without recovery
+// completes with recovered:true when a Recover spec is armed; the breaker
+// stays closed (a healed stall is a served request, not a failure) and the
+// recovery counters reach /metrics.
+func TestRunRecoversFromHalt(t *testing.T) {
+	srv, ts := testServer(t, Options{Workers: 2, BreakerThreshold: 2})
+	req := RunRequest{Workload: WorkloadSpec{Name: "recurrence", N: 24, D: 2},
+		Scheme: SchemeSpec{Name: "process", X: 4},
+		Config: ConfigSpec{P: 4, Fault: &fault.Plan{HaltProc: 1, HaltAtCycle: 50}}}
+
+	// Without recovery the halt is a diagnosed stall: 400, naming the halt.
+	resp, body := post(t, ts, "/run", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unrecovered halt: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "halted") {
+		t.Errorf("halt diagnosis missing from %s", body)
+	}
+
+	// With recovery armed the same run completes and reports the repair.
+	req.Config.Recover = &sim.Recover{AfterCycles: 30}
+	resp, body = post(t, ts, "/run", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("recovery-armed run: status %d, want 200 (%s)", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	json.Unmarshal(body, &rr)
+	if !rr.Recovered || rr.Recovery == nil {
+		t.Fatalf("run did not report recovery: %+v", rr)
+	}
+	if rr.Recovery.Proc != 1 || rr.Recovery.CostCycles != 30 {
+		t.Errorf("report = %+v, want proc 1 reclaimed at cost 30", rr.Recovery)
+	}
+
+	// The healed stall is a breaker success: still closed, counters visible.
+	if st := srv.Breaker().State(); st != BreakerClosed {
+		t.Errorf("breaker state %v after a healed stall, want closed", st)
+	}
+	mbody := getMetrics(t, ts.URL)
+	if !strings.Contains(mbody, "dsserve_recovered_runs_total 1") {
+		t.Errorf("metrics missing recovered-run count:\n%s", mbody)
+	}
+	if !strings.Contains(mbody, "dsserve_recovery_cost_cycles_total 30") {
+		t.Errorf("metrics missing recovery cost:\n%s", mbody)
+	}
+
+	// Identical recovered request: a cache hit on the recovery-armed address.
+	resp, body = post(t, ts, "/run", req)
+	var rr2 RunResponse
+	json.Unmarshal(body, &rr2)
+	if !rr2.Cached || !rr2.Recovered {
+		t.Errorf("recovered rerun not cached with its report: %+v", rr2)
 	}
 }
 

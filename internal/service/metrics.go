@@ -66,13 +66,17 @@ func (m *Metrics) ObserveJob(scheme string, d time.Duration) {
 	m.mu.Unlock()
 }
 
-// Resilience carries the circuit-breaker and fault-injection gauges into
-// Render.
+// Resilience carries the circuit-breaker, fault-injection and recovery
+// gauges into Render.
 type Resilience struct {
 	BreakerState   BreakerState
 	BreakerOpens   int64
 	WatchdogTrips  int64
 	InjectedFaults int64
+	// RecoveredRuns counts runs completed via ownership reclamation;
+	// RecoveryCost totals the quarantine cycles those recoveries charged.
+	RecoveredRuns int64
+	RecoveryCost  int64
 }
 
 // Render writes the exposition text: pool gauges, cache counters, breaker
@@ -95,6 +99,8 @@ func (m *Metrics) Render(w io.Writer, pool *Pool, cs cache.Stats, res Resilience
 	fmt.Fprintf(w, "# TYPE dsserve_breaker_opens_total counter\ndsserve_breaker_opens_total %d\n", res.BreakerOpens)
 	fmt.Fprintf(w, "# HELP dsserve_watchdog_trips_total Stall-class job failures (diagnosed deadlocks and livelocks).\n# TYPE dsserve_watchdog_trips_total counter\ndsserve_watchdog_trips_total %d\n", res.WatchdogTrips)
 	fmt.Fprintf(w, "# HELP dsserve_injected_faults_total Faults the simulator injected across all executed runs.\n# TYPE dsserve_injected_faults_total counter\ndsserve_injected_faults_total %d\n", res.InjectedFaults)
+	fmt.Fprintf(w, "# HELP dsserve_recovered_runs_total Runs completed via PC ownership reclamation after a processor halt.\n# TYPE dsserve_recovered_runs_total counter\ndsserve_recovered_runs_total %d\n", res.RecoveredRuns)
+	fmt.Fprintf(w, "# HELP dsserve_recovery_cost_cycles_total Quarantine cycles charged by recoveries (halt detection to reclamation).\n# TYPE dsserve_recovery_cost_cycles_total counter\ndsserve_recovery_cost_cycles_total %d\n", res.RecoveryCost)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -82,9 +82,14 @@ type Server struct {
 
 	// watchdogTrips counts stall-class job failures (diagnosed deadlocks
 	// and livelocks); injectedFaults totals the faults the simulator
-	// actually injected across runs. Both feed /metrics.
+	// actually injected across runs; recoveredRuns counts runs that
+	// completed only because ownership reclamation healed a halted
+	// processor, and recoveryCost totals the quarantine cycles those
+	// recoveries charged. All feed /metrics.
 	watchdogTrips  atomic.Int64
 	injectedFaults atomic.Int64
+	recoveredRuns  atomic.Int64
+	recoveryCost   atomic.Int64
 
 	// simRun executes one simulation; tests substitute it to model slow or
 	// failing jobs deterministically.
@@ -157,7 +162,11 @@ type RunResponse struct {
 	ModuleAcc    int64             `json:"moduleAccesses"`
 	Polls        int64             `json:"polls"`
 	Foot         codegen.Footprint `json:"footprint"`
-	Stats        sim.Stats         `json:"stats"`
+	// Recovered reports that the run completed only because ownership
+	// reclamation healed a halted processor; Recovery carries the report.
+	Recovered bool                `json:"recovered,omitempty"`
+	Recovery  *sim.RecoveryReport `json:"recovery,omitempty"`
+	Stats     sim.Stats           `json:"stats"`
 }
 
 // VerifyRequest asks for a dsvet verdict on one workload x scheme pair.
@@ -282,6 +291,8 @@ func (s *Server) executeRun(ctx context.Context, wl *codegen.Workload, sspec Sch
 			ModuleAcc:    st.ModuleAccesses,
 			Polls:        st.Polls,
 			Foot:         o.res.Foot,
+			Recovered:    st.Recovery != nil && st.Recovery.Recovered,
+			Recovery:     st.Recovery,
 			Stats:        st,
 		}}, nil
 	case <-ctx.Done():
@@ -294,8 +305,10 @@ func (s *Server) executeRun(ctx context.Context, wl *codegen.Workload, sspec Sch
 // observeOutcome feeds one executed job into the breaker and fault
 // counters: a stall-class failure (a diagnosed deadlock/livelock under an
 // active fault plan) is a breaker failure; a completed run is a success.
-// Other errors — bad specs, organic deadlocks — leave the circuit alone:
-// they say nothing about service health.
+// A recovered run is a completed run — the stall was healed, the service
+// is serving — so it keeps the circuit closed and counts toward the
+// recovery gauges. Other errors — bad specs, organic deadlocks — leave the
+// circuit alone: they say nothing about service health.
 func (s *Server) observeOutcome(res codegen.Result, err error) {
 	var se *sim.StallError
 	switch {
@@ -305,6 +318,10 @@ func (s *Server) observeOutcome(res codegen.Result, err error) {
 		s.breaker.Failure()
 	case err == nil:
 		s.injectedFaults.Add(res.Stats.Faults.Total())
+		if rec := res.Stats.Recovery; rec != nil && rec.Recovered {
+			s.recoveredRuns.Add(1)
+			s.recoveryCost.Add(rec.CostCycles)
+		}
 		s.breaker.Success()
 	}
 }
@@ -462,6 +479,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		BreakerOpens:   s.breaker.Opens(),
 		WatchdogTrips:  s.watchdogTrips.Load(),
 		InjectedFaults: s.injectedFaults.Load(),
+		RecoveredRuns:  s.recoveredRuns.Load(),
+		RecoveryCost:   s.recoveryCost.Load(),
 	})
 }
 

@@ -145,6 +145,11 @@ type ConfigSpec struct {
 	// Faulty runs hash to their own cache addresses (the plan is part of
 	// the canonical key), so they never poison clean entries.
 	Fault *fault.Plan `json:"fault,omitempty"`
+	// Recover, when set and armed, lets the simulator reclaim a halted
+	// processor's PC ownership and fold its pending iterations onto live
+	// processors instead of diagnosing a stall. Armed recovery is part of
+	// the canonical cache key; disarmed recovery hashes like no recovery.
+	Recover *sim.Recover `json:"recover,omitempty"`
 }
 
 // SimConfig resolves the spec into a simulator configuration (defaults
@@ -184,6 +189,9 @@ func (c ConfigSpec) SimConfig() sim.Config {
 	}
 	if c.Fault != nil {
 		cfg.FaultPlan = *c.Fault
+	}
+	if c.Recover != nil {
+		cfg.Recover = *c.Recover
 	}
 	return cfg
 }

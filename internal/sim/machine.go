@@ -53,6 +53,13 @@ type Config struct {
 	// nothing and leaves the simulation bit-for-bit identical to a build
 	// without the fault layer.
 	FaultPlan fault.Plan
+	// Recover arms deterministic ownership reclamation for processors the
+	// fault plan halts: the machine quarantines a silent processor, waits
+	// Recover.AfterCycles, then reclaims its PC ownership, resumes the
+	// orphan iteration where it stopped and folds the victim's unstarted
+	// chunk residue onto the live processors. The zero value disables
+	// recovery and is invisible (bit-identical run, identical cache canon).
+	Recover Recover
 }
 
 // Dispatch is a self-scheduling policy.
@@ -118,6 +125,12 @@ func (c Config) Check() error {
 	}
 	if c.FaultPlan.HaltAtCycle >= 1 && c.FaultPlan.HaltProc >= c.Processors {
 		return fmt.Errorf("sim: fault haltProc %d out of range for %d processors", c.FaultPlan.HaltProc, c.Processors)
+	}
+	if err := c.Recover.Check(); err != nil {
+		return err
+	}
+	if c.Recover.Enabled() && c.Processors < 2 {
+		return fmt.Errorf("sim: recovery needs at least 2 processors (got %d): with a single processor there is nobody left to reclaim ownership for", c.Processors)
 	}
 	return nil
 }
@@ -242,6 +255,17 @@ type proc struct {
 
 	// chunked dispatch: remaining iterations of the held chunk
 	chunkNext, chunkEnd int64
+
+	// recovery: halted/haltedAt note the first halt detection (the
+	// quarantine clock — distinct from blockedSince, which a preceding
+	// wait-release may already have charged); reclaimScheduled marks a
+	// pending reclaim event; reclaimed marks a revived execution context
+	// whose halt check is permanently bypassed (the processor is dead, but
+	// its orphaned work continues on the recovery context it became).
+	halted           bool
+	haltedAt         int64
+	reclaimScheduled bool
+	reclaimed        bool
 }
 
 type event struct {
@@ -295,6 +319,12 @@ type Machine struct {
 
 	inj         *fault.Injector // nil unless cfg.FaultPlan injects simulator faults
 	staleChecks int64           // deterministic coordinate for stale-read rolls
+
+	// recovery state: confiscated chunk spans awaiting redistribution,
+	// reclamations performed, and the report of the last one.
+	reassigned []iterSpan
+	reclaims   int
+	recovery   *RecoveryReport
 
 	tracing     bool
 	traceEvents []TraceEvent
@@ -449,18 +479,28 @@ func (m *Machine) dispatch(p *proc) {
 	switch m.cfg.Dispatch {
 	case DispatchChunked:
 		if p.chunkNext > p.chunkEnd {
-			if m.nextIter > m.lastIter {
+			switch {
+			case len(m.reassigned) > 0:
+				// Confiscated residue of a reclaimed processor is served
+				// before fresh chunks: those are the lowest-numbered pending
+				// iterations, so redistribution keeps the dispatch order
+				// non-decreasing (the deadlock-freedom requirement).
+				span := m.reassigned[0]
+				m.reassigned = m.reassigned[1:]
+				p.chunkNext, p.chunkEnd = span.lo, span.hi
+			case m.nextIter > m.lastIter:
 				p.state = stateDone
 				p.finishedAt = m.now
 				return
+			default:
+				lo := m.nextIter
+				hi := lo + m.cfg.ChunkSize - 1
+				if hi > m.lastIter {
+					hi = m.lastIter
+				}
+				m.nextIter = hi + 1
+				p.chunkNext, p.chunkEnd = lo, hi
 			}
-			lo := m.nextIter
-			hi := lo + m.cfg.ChunkSize - 1
-			if hi > m.lastIter {
-				hi = m.lastIter
-			}
-			m.nextIter = hi + 1
-			p.chunkNext, p.chunkEnd = lo, hi
 			overhead = m.cfg.SchedOverhead // paid once per chunk
 		}
 		it = p.chunkNext
@@ -499,12 +539,22 @@ func (m *Machine) dispatch(p *proc) {
 // step advances a processor from the current time until it blocks,
 // schedules a future event, or finishes.
 func (m *Machine) step(p *proc) {
-	if m.inj != nil && m.inj.Halted(p.id, m.now) {
+	if m.inj != nil && !p.reclaimed && m.inj.Halted(p.id, m.now) {
 		// The processor is dead: it never executes another op. It stays
 		// blocked so the drain-time diagnosis can name it and everything
-		// transitively depending on it.
-		p.state = stateBlocked
-		p.blockedSince = m.now
+		// transitively depending on it. With recovery armed, its PC
+		// ownership is reclaimed AfterCycles later instead. A stray event
+		// may re-step a halted processor; only the first halt sets the
+		// quarantine clock.
+		if !p.halted {
+			p.halted = true
+			p.haltedAt = m.now
+			p.state = stateBlocked
+			p.blockedSince = m.now
+		}
+		if m.cfg.Recover.Enabled() {
+			m.scheduleReclaim(p)
+		}
 		return
 	}
 	p.state = stateRunning
@@ -905,6 +955,7 @@ func (m *Machine) collectStats() Stats {
 	if m.inj != nil {
 		s.Faults = m.inj.Counts()
 	}
+	s.Recovery = m.recovery
 	return s
 }
 

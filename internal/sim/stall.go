@@ -41,6 +41,14 @@ type StallError struct {
 	// means the scheme itself (or the plan's premise) is suspect.
 	Explained   bool   `json:"explained"`
 	Explanation string `json:"explanation,omitempty"`
+	// RecoveryArmed is true when the run had ownership reclamation enabled
+	// and still stalled; RecoveryRefused says why recovery could not heal
+	// this stall (no reclaimable halted processor, budget exhausted, or the
+	// run ended before the reclaim fired). Recovery carries the report of a
+	// reclamation that did happen before the residual stall.
+	RecoveryArmed   bool            `json:"recoveryArmed,omitempty"`
+	RecoveryRefused string          `json:"recoveryRefused,omitempty"`
+	Recovery        *RecoveryReport `json:"recovery,omitempty"`
 
 	msg string
 }
@@ -53,6 +61,12 @@ func (e *StallError) Error() string {
 		fmt.Fprintf(&b, "\ndiagnosis: %s", e.Explanation)
 	} else {
 		b.WriteString("\ndiagnosis: no injected fault explains this stall")
+	}
+	if e.Recovery != nil {
+		fmt.Fprintf(&b, "\nrecovery: %s", e.Recovery)
+	}
+	if e.RecoveryRefused != "" {
+		fmt.Fprintf(&b, "\nrecovery refused: %s", e.RecoveryRefused)
 	}
 	return b.String()
 }
@@ -81,11 +95,20 @@ func (m *Machine) stallError(base error, maxed bool) error {
 		e.Blocked = append(e.Blocked, bp)
 	}
 	plan := m.inj.Plan()
+	e.RecoveryArmed = m.cfg.Recover.Enabled()
+	e.Recovery = m.recovery
 	switch {
-	case m.inj.HaltActive():
+	case m.inj.HaltActive() && m.recovery == nil:
 		e.Explained = true
 		e.Explanation = fmt.Sprintf("processor %d was halted at cycle %d by the fault plan",
 			plan.HaltProc, plan.HaltAtCycle)
+		if e.RecoveryArmed {
+			// A pending reclaim event keeps the heap non-empty, so a halt
+			// can only outlive armed recovery by blowing the cycle cap
+			// before the reclaim fires (or by halting a processor nobody
+			// ever steps again).
+			e.RecoveryRefused = fmt.Sprintf("the run ended before the reclamation scheduled %d cycles after the halt could fire", m.cfg.Recover.AfterCycles)
+		}
 	default:
 		for _, bp := range e.Blocked {
 			if !bp.wait {
@@ -101,6 +124,14 @@ func (m *Machine) stallError(base error, maxed bool) error {
 		if !e.Explained && maxed && plan.SlowsCycles() {
 			e.Explained = true
 			e.Explanation = "injected delays lengthened the run past MaxCycles"
+		}
+	}
+	if e.RecoveryArmed && e.RecoveryRefused == "" {
+		switch {
+		case e.Recovery != nil:
+			e.RecoveryRefused = fmt.Sprintf("the reclamation budget (%d) is spent; the residual stall has another cause", m.cfg.Recover.maxReclaims())
+		default:
+			e.RecoveryRefused = "no reclaimable halted processor explains this stall; ownership reclamation cannot heal it"
 		}
 	}
 	return e

@@ -39,6 +39,10 @@ type Stats struct {
 	// Faults counts the faults actually injected by the run's fault plan
 	// (all zero when no plan is active).
 	Faults fault.Counts
+	// Recovery is the cycle-exact report of the ownership reclamation the
+	// run performed, nil when none happened (recovery disarmed, or armed
+	// but never needed).
+	Recovery *RecoveryReport
 }
 
 // BusyTotal sums busy cycles over processors.

@@ -51,6 +51,51 @@ run_chaos "pipeline/nested" \
 run_chaos "process/recurrence" \
   -workload recurrence -n 120 -d 2 -scheme process -p 4 -x 4 -fault "$PLAN"
 
+# Self-healing grid: the same seeded halt plan under every scheme, recovery
+# armed. A halt is the one fault the machine can heal, so the only allowed
+# outcome is a completed run that reports its reclamation — exit 0, the
+# recovered marker, and the serial-equivalence PASS. A stall or hang here is
+# a recovery bug.
+run_recovered() { # $1 = label, remaining = dssim args (recovery already armed)
+  local label="$1"; shift
+  local out rc=0
+  out=$(timeout 120 "$BIN" "$@" 2>&1) || rc=$?
+  [ "$rc" = "0" ] || {
+    [ "$rc" = "124" ] && { echo "recovery: $label HUNG (timeout)" >&2; exit 1; }
+    echo "recovery: $label exited $rc, want recovered success:" >&2
+    echo "$out" >&2; exit 1; }
+  echo "$out" | grep -q 'recovered:       true' || {
+    echo "recovery: $label completed without reclaiming the halted processor:" >&2
+    echo "$out" >&2; exit 1; }
+  echo "$out" | grep -q 'serial-equivalence check: PASS' || {
+    echo "recovery: $label recovered but failed the equivalence check:" >&2
+    echo "$out" >&2; exit 1; }
+  echo "recovery: $label healed the halt ($(echo "$out" | grep '^recovery:'))"
+}
+
+HALT='halt=proc1:50,seed=42'
+for scheme in process process-basic statement ref instance; do
+  run_recovered "$scheme/fig21" \
+    -workload fig21 -n 120 -scheme "$scheme" -p 4 -x 4 -fault "$HALT" -recover 60
+done
+run_recovered "pipeline/nested" \
+  -workload nested -n 16 -m 8 -scheme pipeline -p 4 -x 4 -g 2 -fault "$HALT" -recover 60
+run_recovered "process/recurrence" \
+  -workload recurrence -n 120 -d 2 -scheme process -p 4 -x 4 -fault "$HALT" -recover 60
+run_recovered "process/recurrence-chunked" \
+  -workload recurrence -n 120 -d 2 -scheme process -p 4 -x 4 -chunk 4 -fault "$HALT" -recover 60
+
+# Recovery-refusal boundary: reclamation only heals halts. Under a total
+# broadcast drop the armed recovery must refuse with a diagnosis naming why
+# (nothing reclaimable), and the run still exits 3 with the stall report.
+rc=0
+out=$(timeout 120 "$BIN" -workload recurrence -n 24 -d 2 -scheme process \
+  -p 4 -x 4 -fault 'drop=bus:1,seed=1' -recover 60 2>&1) || rc=$?
+[ "$rc" = "3" ] || { echo "armed recovery under total drop gave exit $rc, want 3:" >&2; echo "$out" >&2; exit 1; }
+echo "$out" | grep -q 'recovery refused' || {
+  echo "refused recovery lost its diagnosis:" >&2; echo "$out" >&2; exit 1; }
+echo "chaos: unhealable stall refused with a diagnosis"
+
 # Boundary 1: a total broadcast drop can never complete — it must be a
 # diagnosed stall (exit 3 with the report), deterministically.
 rc=0

@@ -69,6 +69,18 @@ curl -fsS -X POST "$BASE/sweep" \
 # and recovers through the retrying client.
 "$BINDIR/dsprobe" -addr "$BASE" -stalls 3 -cooldown 2s
 
+# Self-healing: the halt probe proves a halted-processor run is diagnosed
+# without recovery, heals with recovery armed (recovered: true), and leaves
+# the breaker closed with the recovery counters in /metrics. It runs after
+# the breaker probe so the healed stall lands on a closed, settled circuit.
+"$BINDIR/dsprobe" -addr "$BASE" -halt
+
+# Snapshot the recovery metrics for the CI artifact.
+RECOVERY_METRICS_OUT="${RECOVERY_METRICS_OUT:-$BINDIR/recovery-metrics.txt}"
+curl -fsS "$BASE/metrics" | grep -E 'dsserve_(recovered_runs|recovery_cost_cycles|watchdog_trips|breaker)' \
+  > "$RECOVERY_METRICS_OUT"
+echo "service smoke: recovery metrics snapshot at $RECOVERY_METRICS_OUT"
+
 # A bad request is a 400 with a one-line diagnostic, not a crash.
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/run" \
   -d '{"workload":{"name":"no-such"},"scheme":{"name":"process"}}')
