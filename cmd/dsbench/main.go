@@ -7,11 +7,16 @@
 //	dsbench -list           # list experiment ids and titles
 //	dsbench -runtime        # goroutine-runtime waiter metrics (RunStats)
 //	dsbench -json out.json  # machine-readable benchmark snapshot
+//	dsbench -compare old.json new.json   # per-grid-point delta table
 //
 // -json measures the canonical workload x scheme grid on the base machine
-// and writes a BenchSnapshot ("-" for stdout). The simulator is
-// deterministic, so snapshots from two commits diff cleanly; CI uploads one
-// per run as an artifact.
+// and writes a BenchSnapshot ("-" for stdout): every point's deterministic
+// simulator measurements plus its best-of-repeats wall time and a host
+// calibration figure. -compare diffs two snapshots and prints a
+// per-grid-point delta table; with -gate N it exits non-zero when the
+// normalized cycle throughput regressed by more than N percent, which is how
+// scripts/bench_gate.sh turns the committed BENCH_*.json baseline into a CI
+// regression gate.
 //
 // -runtime executes the Fig 2.1 Doacross on the real concurrent runtime —
 // packed and split-field counter sets — with the metrics layer enabled and
@@ -83,6 +88,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	md := flag.Bool("md", false, "render tables as GitHub markdown")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark snapshot to this file (\"-\" for stdout) and exit")
+	repeats := flag.Int("repeats", 3, "-json: run every grid point this many times and record the best wall time")
+	compare := flag.Bool("compare", false, "compare two snapshot files (old.json new.json) and print the per-point delta table")
+	gatePct := flag.Float64("gate", 0, "-compare: exit non-zero if normalized cycle throughput regressed by more than this percent (0 = report only)")
 	rt := flag.Bool("runtime", false, "run the goroutine runtime with waiter metrics and print RunStats")
 	rtn := flag.Int64("rtn", 100_000, "-runtime: iterations")
 	rtx := flag.Int("rtx", 8, "-runtime: physical process counters (X)")
@@ -90,8 +98,18 @@ func main() {
 	rtchunk := flag.Int("rtchunk", 1, "-runtime: iterations claimed per dispatch")
 	flag.Parse()
 
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two snapshot files, got %d args", flag.NArg()))
+		}
+		if err := compareSnapshots(flag.Arg(0), flag.Arg(1), *gatePct); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *jsonOut != "" {
-		if err := writeSnapshot(*jsonOut); err != nil {
+		if err := writeSnapshot(*jsonOut, *repeats); err != nil {
 			fatal(err)
 		}
 		return
@@ -148,8 +166,8 @@ func main() {
 
 // writeSnapshot measures the canonical grid and writes the JSON snapshot to
 // path ("-" for stdout).
-func writeSnapshot(path string) error {
-	snap, err := exper.Snapshot()
+func writeSnapshot(path string, repeats int) error {
+	snap, err := exper.SnapshotTimed(repeats)
 	if err != nil {
 		return err
 	}
@@ -171,6 +189,43 @@ func writeSnapshot(path string) error {
 		fmt.Fprintf(os.Stderr, "dsbench: wrote %d records to %s\n", len(snap.Records), path)
 	}
 	return nil
+}
+
+// compareSnapshots loads two snapshot files, prints the delta table and,
+// when gatePct > 0, fails on a normalized-throughput regression beyond it.
+func compareSnapshots(oldPath, newPath string, gatePct float64) error {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	res := exper.Compare(oldSnap, newSnap)
+	fmt.Print(res.Report)
+	if gatePct > 0 {
+		if err := res.Gate(gatePct); err != nil {
+			return err
+		}
+		fmt.Printf("bench gate: PASS (threshold %.1f%%)\n", gatePct)
+	}
+	return nil
+}
+
+func loadSnapshot(path string) (*exper.BenchSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap exper.BenchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(snap.Records) == 0 {
+		return nil, fmt.Errorf("%s: snapshot has no records", path)
+	}
+	return &snap, nil
 }
 
 // fatal prints a one-line diagnostic through the renderer shared with

@@ -157,12 +157,16 @@ func run(w *Workload, sch Scheme, cfg sim.Config, trace, syncTrace bool) (Result
 
 // serialProgram builds the pure-compute program bound to the given memory.
 func (w *Workload) serialProgram(mem *sim.Mem) sim.Program {
+	hint := 0
 	return func(iter int64) []sim.Op {
 		idx := w.Nest.IndexOf(iter)
 		locals := make(map[string]int64)
-		var ops []sim.Op
+		ops := make([]sim.Op, 0, hint)
 		for _, s := range w.Nest.FlatBody(idx) {
 			ops = append(ops, sim.Compute(w.cost(s, idx), w.execInPlace(mem, idx, s, locals), s.Name))
+		}
+		if len(ops) > hint {
+			hint = len(ops)
 		}
 		return ops
 	}
@@ -224,29 +228,28 @@ func writeRef(mem *sim.Mem, r deps.Ref, idx []int64, v int64) {
 	}
 }
 
-// computeOps builds the op(s) for one statement execution: the compute
-// itself and, when the machine models a data-write latency and the
+// appendComputeOps appends the op(s) for one statement execution: the
+// compute itself and, when the machine models a data-write latency and the
 // statement writes shared arrays, a commit phase after which the written
 // values become visible — the paper's requirement (1): a source may signal
 // only after its effect can be observed. The statement semantics run at the
 // end of the last op, so a scheme that published before the commit phase
 // would let a consumer read stale values and fail serial equivalence. The
 // op carrying the semantics is stamped with the statement's concrete
-// element accesses for the happens-before race checkers.
-func computeOps(m *sim.Machine, w *Workload, idx []int64, s *deps.Stmt, locals map[string]int64) []sim.Op {
+// element accesses for the happens-before race checkers. Appending into the
+// caller's program slice (instead of returning a fresh one) keeps the
+// per-iteration instrumenters to one ops allocation each.
+func appendComputeOps(ops []sim.Op, m *sim.Machine, w *Workload, idx []int64, s *deps.Stmt, locals map[string]int64) []sim.Op {
 	exec := w.execInPlace(m.Mem(), idx, s, locals)
 	lat := m.Config().DataLatency
 	if lat <= 0 || len(s.Writes) == 0 {
 		op := sim.Compute(w.cost(s, idx), exec, s.Name)
 		op.Touch = stmtTouches(s, idx)
-		return []sim.Op{op}
+		return append(ops, op)
 	}
 	op := sim.Compute(lat, exec, s.Name+":commit")
 	op.Touch = stmtTouches(s, idx)
-	return []sim.Op{
-		sim.Compute(w.cost(s, idx), nil, s.Name),
-		op,
-	}
+	return append(ops, sim.Compute(w.cost(s, idx), nil, s.Name), op)
 }
 
 // stmtTouches lists the concrete shared-memory elements one execution of

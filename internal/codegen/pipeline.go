@@ -83,9 +83,10 @@ func (s PipelinedOuter) Instrument(m *sim.Machine, w *Workload) (sim.Program, Fo
 	}
 	sort.Slice(dists, func(x, y int) bool { return dists[x] < dists[y] })
 
+	hint := 0
 	prog := func(lpid int64) []sim.Op {
 		i := outer.Lo + lpid - 1
-		var ops []sim.Op
+		ops := make([]sim.Op, 0, hint)
 		sinceMark := int64(0)
 		for j := inner.Lo; j <= inner.Hi; j++ {
 			idx := []int64{i, j}
@@ -113,7 +114,7 @@ func (s PipelinedOuter) Instrument(m *sim.Machine, w *Workload) (sim.Program, Fo
 			}
 			locals := make(map[string]int64)
 			for _, st := range w.Nest.FlatBody(idx) {
-				ops = append(ops, computeOps(m, w, idx, st, locals)...)
+				ops = appendComputeOps(ops, m, w, idx, st, locals)
 			}
 			sinceMark++
 			if sinceMark == g && j < inner.Hi {
@@ -122,6 +123,9 @@ func (s PipelinedOuter) Instrument(m *sim.Machine, w *Workload) (sim.Program, Fo
 			}
 		}
 		ops = append(ops, pcs.TransferPCOps(lpid)...)
+		if len(ops) > hint {
+			hint = len(ops)
+		}
 		return ops
 	}
 	return prog, foot, nil

@@ -118,10 +118,14 @@ func (s ProcessOriented) Instrument(m *sim.Machine, w *Workload) (sim.Program, F
 	pcs := core.NewSimPCs(m, s.X)
 	foot := Footprint{SyncVars: s.X, InitOps: int64(s.X), StorageWords: int64(s.X)}
 
+	// hint remembers the largest program built so far, so later iterations
+	// allocate their ops slice once. Safe: each run instruments its own
+	// scheme, and the machine calls prog sequentially.
+	hint := 0
 	prog := func(iter int64) []sim.Op {
 		idx := w.Nest.IndexOf(iter)
 		locals := make(map[string]int64)
-		var ops []sim.Op
+		ops := make([]sim.Op, 0, hint)
 		gotPC := false
 		needOwn := func() {
 			if !s.Improved && !gotPC {
@@ -134,7 +138,7 @@ func (s ProcessOriented) Instrument(m *sim.Machine, w *Workload) (sim.Program, F
 			case actWait:
 				ops = append(ops, pcs.WaitPC(iter, a.dist, a.step))
 			case actStmt:
-				ops = append(ops, computeOps(m, w, idx, a.stmt, locals)...)
+				ops = appendComputeOps(ops, m, w, idx, a.stmt, locals)
 			case actPublish:
 				if s.Improved {
 					ops = append(ops, pcs.MarkPC(iter, a.step))
@@ -146,6 +150,9 @@ func (s ProcessOriented) Instrument(m *sim.Machine, w *Workload) (sim.Program, F
 				needOwn()
 				ops = append(ops, pcs.TransferPCOps(iter)...)
 			}
+		}
+		if len(ops) > hint {
+			hint = len(ops)
 		}
 		return ops
 	}
@@ -227,11 +234,12 @@ func (s StatementOriented) Instrument(m *sim.Machine, w *Workload) (sim.Program,
 	group, lastOfGroup, advanceAtEnd := sg.group, sg.lastOfGroup, sg.advanceAtEnd
 	foot := Footprint{SyncVars: k, InitOps: int64(k), StorageWords: int64(k)}
 
+	hint := 0
 	prog := func(iter int64) []sim.Op {
 		idx := w.Nest.IndexOf(iter)
 		locals := make(map[string]int64)
-		var ops []sim.Op
-		advanced := make(map[int64]bool)
+		ops := make([]sim.Op, 0, hint)
+		advanced := make([]bool, k)
 		var walk func(nodes []loop.Node)
 		walk = func(nodes []loop.Node) {
 			for _, node := range nodes {
@@ -242,7 +250,7 @@ func (s StatementOriented) Instrument(m *sim.Machine, w *Workload) (sim.Program,
 						d := a.Dist[0]
 						ops = append(ops, scs.AwaitOp(group[a.Src], iter-d))
 					}
-					ops = append(ops, computeOps(m, w, idx, v.S, locals)...)
+					ops = appendComputeOps(ops, m, w, idx, v.S, locals)
 					if g, ok := group[p]; ok && lastOfGroup[p] && !advanced[g] {
 						ops = append(ops, scs.AdvanceOps(g, iter)...)
 						advanced[g] = true
@@ -295,38 +303,58 @@ func (RefBased) Instrument(m *sim.Machine, w *Workload) (sim.Program, Footprint,
 	foot := Footprint{SyncVars: int(f.Keys), InitOps: f.InitOps, StorageWords: f.Keys}
 	di := stmtPositions(w.Nest)
 
+	// Scratch buffers reused across iterations (prog is called sequentially
+	// by the machine and nothing below escapes the call); a statement's
+	// reference count is small, so a linear scan replaces the per-statement
+	// dedup map. First-seen element order is preserved exactly.
+	var (
+		accs    []*dataorient.Access
+		order   []dataorient.Elem
+		tickets []int64
+	)
+	hint := 0
 	prog := func(iter int64) []sim.Op {
 		idx := w.Nest.IndexOf(iter)
 		locals := make(map[string]int64)
-		var ops []sim.Op
+		ops := make([]sim.Op, 0, hint)
 		for _, s := range w.Nest.FlatBody(idx) {
 			p := di[s]
 			nRefs := len(s.Writes) + len(s.Reads)
-			accs := make([]*dataorient.Access, nRefs)
+			accs = accs[:0]
 			for slot := 0; slot < nRefs; slot++ {
-				accs[slot] = plan.ByID[dataorient.AccessID{Lpid: iter, StmtPos: p, RefSlot: slot}]
+				accs = append(accs, plan.ByID[dataorient.AccessID{Lpid: iter, StmtPos: p, RefSlot: slot}])
 			}
 			// The statement executes as one atomic compute, so per element
 			// the wait condition is the minimum ticket among the
 			// statement's own accesses (a statement reading and writing
 			// the same element must not wait on its own increment).
-			minTicket := map[dataorient.Elem]int64{}
-			var order []dataorient.Elem
+			order, tickets = order[:0], tickets[:0]
 			for _, a := range accs {
-				if t, ok := minTicket[a.Elem]; !ok || a.Ticket < t {
-					if !ok {
-						order = append(order, a.Elem)
+				seen := false
+				for j, e := range order {
+					if e == a.Elem {
+						if a.Ticket < tickets[j] {
+							tickets[j] = a.Ticket
+						}
+						seen = true
+						break
 					}
-					minTicket[a.Elem] = a.Ticket
+				}
+				if !seen {
+					order = append(order, a.Elem)
+					tickets = append(tickets, a.Ticket)
 				}
 			}
-			for _, e := range order {
-				ops = append(ops, keys.WaitTicketOp(e, minTicket[e]))
+			for j, e := range order {
+				ops = append(ops, keys.WaitTicketOp(e, tickets[j]))
 			}
-			ops = append(ops, computeOps(m, w, idx, s, locals)...)
+			ops = appendComputeOps(ops, m, w, idx, s, locals)
 			for _, a := range accs {
 				ops = append(ops, keys.IncOp(a))
 			}
+		}
+		if len(ops) > hint {
+			hint = len(ops)
 		}
 		return ops
 	}
@@ -369,10 +397,11 @@ func (ib *InstanceBased) Instrument(m *sim.Machine, w *Workload) (sim.Program, F
 	ib.plan, ib.vs = plan, vs
 	di := stmtPositions(w.Nest)
 
+	hint := 0
 	prog := func(iter int64) []sim.Op {
 		idx := w.Nest.IndexOf(iter)
 		locals := make(map[string]int64)
-		var ops []sim.Op
+		ops := make([]sim.Op, 0, hint)
 		for _, s := range w.Nest.FlatBody(idx) {
 			s := s
 			p := di[s]
@@ -425,6 +454,9 @@ func (ib *InstanceBased) Instrument(m *sim.Machine, w *Workload) (sim.Program, F
 			for _, a := range writeAccs {
 				ops = append(ops, bits.FillOps(a)...)
 			}
+		}
+		if len(ops) > hint {
+			hint = len(ops)
 		}
 		return ops
 	}

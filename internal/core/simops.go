@@ -2,9 +2,21 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/csrd-repro/datasync/internal/sim"
 )
+
+// itag renders "<prefix><iter>". Primitive tags are built once per op per
+// iteration, which makes them a measurable slice of sweep time — hence
+// strconv over fmt. Output strings are identical to the former fmt forms
+// (tags feed sync traces and cache canon, so they must not drift).
+func itag(prefix string, iter int64) string {
+	b := make([]byte, 0, len(prefix)+20)
+	b = append(b, prefix...)
+	b = strconv.AppendInt(b, iter, 10)
+	return string(b)
+}
 
 // SimPCs binds a folded set of X process counters to synchronization
 // registers of a simulated machine and builds the paper's primitives as
@@ -36,20 +48,24 @@ func (s *SimPCs) slot(iter int64) sim.VarID { return s.vars[Fold(iter, s.X)] }
 // i.e. wait_PC(0, 0).
 func (s *SimPCs) GetPC(iter int64) sim.Op {
 	return sim.WaitGE(s.slot(iter), PC{Owner: iter, Step: 0}.Pack(),
-		fmt.Sprintf("get_PC i=%d", iter))
+		itag("get_PC i=", iter))
 }
 
 // SetPC is the basic set_PC(step): update the owned PC's step after
 // completing a source statement.
 func (s *SimPCs) SetPC(iter, step int64) sim.Op {
-	return sim.WriteVar(s.slot(iter), PC{Owner: iter, Step: step}.Pack(),
-		fmt.Sprintf("set_PC(%d) i=%d", step, iter))
+	b := make([]byte, 0, 32)
+	b = append(b, "set_PC("...)
+	b = strconv.AppendInt(b, step, 10)
+	b = append(b, ") i="...)
+	b = strconv.AppendInt(b, iter, 10)
+	return sim.WriteVar(s.slot(iter), PC{Owner: iter, Step: step}.Pack(), string(b))
 }
 
 // ReleasePC is the basic release_PC(): pass the PC to process iter+X.
 func (s *SimPCs) ReleasePC(iter int64) sim.Op {
 	return sim.WriteVar(s.slot(iter), PC{Owner: iter + int64(s.X), Step: 0}.Pack(),
-		fmt.Sprintf("release_PC i=%d", iter))
+		itag("release_PC i=", iter))
 }
 
 // WaitPC is wait_PC(dist, step): spin until the source process iter-dist
@@ -60,11 +76,18 @@ func (s *SimPCs) ReleasePC(iter int64) sim.Op {
 // satisfied immediately (a zero-cycle no-op), mirroring PCSet.Wait.
 func (s *SimPCs) WaitPC(iter, dist, step int64) sim.Op {
 	src := iter - dist
+	b := make([]byte, 0, 48)
+	b = append(b, "wait_PC("...)
+	b = strconv.AppendInt(b, dist, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, step, 10)
+	b = append(b, ") i="...)
+	b = strconv.AppendInt(b, iter, 10)
 	if src < 1 {
-		return sim.Compute(0, nil, fmt.Sprintf("wait_PC(%d,%d) i=%d noop", dist, step, iter))
+		b = append(b, " noop"...)
+		return sim.Compute(0, nil, string(b))
 	}
-	return sim.WaitGE(s.slot(src), PC{Owner: src, Step: step}.Pack(),
-		fmt.Sprintf("wait_PC(%d,%d) i=%d", dist, step, iter))
+	return sim.WaitGE(s.slot(src), PC{Owner: src, Step: step}.Pack(), string(b))
 }
 
 // MarkPC is the improved mark_PC(step) of Fig 4.3: update the step only if
@@ -74,8 +97,12 @@ func (s *SimPCs) WaitPC(iter, dist, step int64) sim.Op {
 func (s *SimPCs) MarkPC(iter, step int64) sim.Op {
 	want := PC{Owner: iter, Step: step}.Pack()
 	owned := PC{Owner: iter, Step: 0}.Pack()
-	return sim.WriteVarIfGE(s.slot(iter), want, owned,
-		fmt.Sprintf("mark_PC(%d) i=%d", step, iter))
+	b := make([]byte, 0, 32)
+	b = append(b, "mark_PC("...)
+	b = strconv.AppendInt(b, step, 10)
+	b = append(b, ") i="...)
+	b = strconv.AppendInt(b, iter, 10)
+	return sim.WriteVarIfGE(s.slot(iter), want, owned, string(b))
 }
 
 // TransferPCOps is transfer_PC(): acquire ownership if not yet owned, then
@@ -83,8 +110,8 @@ func (s *SimPCs) MarkPC(iter, step int64) sim.Op {
 func (s *SimPCs) TransferPCOps(iter int64) []sim.Op {
 	return []sim.Op{
 		sim.WaitGE(s.slot(iter), PC{Owner: iter, Step: 0}.Pack(),
-			fmt.Sprintf("transfer_PC:own i=%d", iter)),
+			itag("transfer_PC:own i=", iter)),
 		sim.WriteVar(s.slot(iter), PC{Owner: iter + int64(s.X), Step: 0}.Pack(),
-			fmt.Sprintf("transfer_PC:release i=%d", iter)),
+			itag("transfer_PC:release i=", iter)),
 	}
 }

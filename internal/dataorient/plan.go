@@ -22,8 +22,8 @@
 package dataorient
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 
 	"github.com/csrd-repro/datasync/internal/deps"
 	"github.com/csrd-repro/datasync/internal/loop"
@@ -36,15 +36,23 @@ type Elem struct {
 	C     [3]int64
 }
 
-func (e Elem) String() string {
-	s := e.Array + "["
+// appendElem renders e into b ("A[i,j]"). Element names appear in every op
+// tag the data-oriented code generators build, which puts this on the sweep
+// hot path — hence the append form rather than fmt.
+func appendElem(b []byte, e Elem) []byte {
+	b = append(b, e.Array...)
+	b = append(b, '[')
 	for d := 0; d < e.Dims; d++ {
 		if d > 0 {
-			s += ","
+			b = append(b, ',')
 		}
-		s += fmt.Sprintf("%d", e.C[d])
+		b = strconv.AppendInt(b, e.C[d], 10)
 	}
-	return s + "]"
+	return append(b, ']')
+}
+
+func (e Elem) String() string {
+	return string(appendElem(make([]byte, 0, len(e.Array)+8), e))
 }
 
 // AccessID locates one reference instance: iteration (lpid), statement
@@ -86,18 +94,38 @@ type Plan struct {
 	Order []Elem
 	// ByID resolves an access from its location, for code generation.
 	ByID map[AccessID]*Access
+
+	// arena chunk-allocates Access records: plan building touches every
+	// reference of the whole iteration space, and one heap object per
+	// access dominates BuildPlan's cost at sweep scale.
+	arena []Access
+}
+
+func (p *Plan) newAccess(id AccessID, e Elem, kind deps.Access) *Access {
+	if len(p.arena) == 0 {
+		p.arena = make([]Access, 512)
+	}
+	a := &p.arena[0]
+	p.arena = p.arena[1:]
+	a.ID, a.Elem, a.Kind = id, e, kind
+	return a
 }
 
 // BuildPlan enumerates the whole iteration space and assigns tickets,
 // epochs and copies.
 func BuildPlan(n *loop.Nest) *Plan {
-	p := &Plan{Nest: n, Elems: make(map[Elem][]*Access), ByID: make(map[AccessID]*Access)}
 	stmts := n.Stmts()
 	pos := make(map[*deps.Stmt]int, len(stmts))
+	refs := 0
 	for i, s := range stmts {
 		pos[s] = i
+		refs += len(s.Reads) + len(s.Writes)
 	}
 	total := n.Iterations()
+	// Presize for the branchless case (every statement every iteration);
+	// branchy nests simply overshoot a little.
+	est := int(total) * refs
+	p := &Plan{Nest: n, Elems: make(map[Elem][]*Access), ByID: make(map[AccessID]*Access, est)}
 	for lpid := int64(1); lpid <= total; lpid++ {
 		idx := n.IndexOf(lpid)
 		for _, s := range n.FlatBody(idx) {
@@ -127,7 +155,7 @@ func (p *Plan) record(id AccessID, r deps.Ref, kind deps.Access, idx []int64) {
 	for d, ix := range r.Index {
 		e.C[d] = ix.Eval(idx)
 	}
-	a := &Access{ID: id, Elem: e, Kind: kind}
+	a := p.newAccess(id, e, kind)
 	p.Elems[e] = append(p.Elems[e], a)
 	p.ByID[id] = a
 }

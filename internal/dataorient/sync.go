@@ -1,13 +1,27 @@
 package dataorient
 
 import (
-	"fmt"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 
 	"github.com/csrd-repro/datasync/internal/deps"
 	"github.com/csrd-repro/datasync/internal/sim"
 )
+
+// feTag renders the full/empty-bit tags ("<prefix><elem>.v<version>.c<copy>")
+// without fmt: these are built once per planned access per sweep point, a
+// measurable slice of sweep time.
+func feTag(prefix string, e Elem, version int64, copyIdx int) string {
+	b := make([]byte, 0, len(prefix)+len(e.Array)+24)
+	b = append(b, prefix...)
+	b = appendElem(b, e)
+	b = append(b, ".v"...)
+	b = strconv.AppendInt(b, version, 10)
+	b = append(b, ".c"...)
+	b = strconv.AppendInt(b, int64(copyIdx), 10)
+	return string(b)
+}
 
 // SimKeys places one reference-based key per touched element into the
 // machine's memory modules (elements are distributed round-robin, the way
@@ -42,7 +56,12 @@ func (k *SimKeys) WaitOp(a *Access) sim.Op {
 // accesses are consecutive in the element's serial order, so the later
 // tickets differ only by the statement's own increments).
 func (k *SimKeys) WaitTicketOp(e Elem, ticket int64) sim.Op {
-	return sim.WaitGE(k.vars[e], ticket, fmt.Sprintf("key:wait %s>=%d", e, ticket))
+	b := make([]byte, 0, len(e.Array)+32)
+	b = append(b, "key:wait "...)
+	b = appendElem(b, e)
+	b = append(b, ">="...)
+	b = strconv.AppendInt(b, ticket, 10)
+	return sim.WaitGE(k.vars[e], ticket, string(b))
 }
 
 // IncOp increments the element's key after the access completes. The access
@@ -50,7 +69,7 @@ func (k *SimKeys) WaitTicketOp(e Elem, ticket int64) sim.Op {
 // value is statically a.Ticket+1 — stamped for the static verifier.
 func (k *SimKeys) IncOp(a *Access) sim.Op {
 	return sim.RMWPost(k.vars[a.Elem], func(x int64) int64 { return x + 1 },
-		a.Ticket+1, fmt.Sprintf("key:inc %s", a.Elem))
+		a.Ticket+1, string(appendElem(append(make([]byte, 0, len(a.Elem.Array)+20), "key:inc "...), a.Elem)))
 }
 
 // SimBits places the instance-based full/empty bits: one per consumable
@@ -84,7 +103,7 @@ func NewSimBits(m *sim.Machine, p *Plan) *SimBits {
 			for c := 0; c < copies; c++ {
 				key := bitKey{e, a.Epoch + 1, c}
 				b.vars[key] = m.NewMemVar(
-					fmt.Sprintf("fe:%s.v%d.c%d", e, a.Epoch+1, c), i%mods, 0)
+					feTag("fe:", e, a.Epoch+1, c), i%mods, 0)
 				i++
 			}
 		}
@@ -109,7 +128,7 @@ func (b *SimBits) FillOps(a *Access) []sim.Op {
 	ops := make([]sim.Op, 0, copies)
 	for c := 0; c < copies; c++ {
 		v := b.vars[bitKey{a.Elem, a.Epoch + 1, c}]
-		ops = append(ops, sim.WriteVar(v, 1, fmt.Sprintf("fe:fill %s.v%d.c%d", a.Elem, a.Epoch+1, c)))
+		ops = append(ops, sim.WriteVar(v, 1, feTag("fe:fill ", a.Elem, a.Epoch+1, c)))
 	}
 	return ops
 }
@@ -124,7 +143,7 @@ func (b *SimBits) ConsumeOp(a *Access) sim.Op {
 		return sim.Compute(0, nil, "fe:init-data")
 	}
 	v := b.vars[bitKey{a.Elem, a.Epoch, a.CopyIdx}]
-	return sim.WaitGE(v, 1, fmt.Sprintf("fe:consume %s.v%d.c%d", a.Elem, a.Epoch, a.CopyIdx))
+	return sim.WaitGE(v, 1, feTag("fe:consume ", a.Elem, a.Epoch, a.CopyIdx))
 }
 
 // VersionStore holds the renamed (single-assignment) storage of an

@@ -1,0 +1,165 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// pointKey identifies one grid point across snapshots.
+type pointKey struct {
+	Workload   string
+	Scheme     string
+	Processors int
+}
+
+// CompareResult is the outcome of diffing two benchmark snapshots. The gate
+// metric is normalized cycle throughput: simulated cycles per wall nanosecond,
+// multiplied by the measuring host's calibration time so raw scalar speed
+// cancels and a baseline recorded on one machine can gate runs on another.
+type CompareResult struct {
+	Report string // human-readable per-point delta table + summary
+
+	CycleMismatches int // points whose simulated cycle counts differ
+	MissingPoints   int // points present in only one snapshot
+
+	OldNorm, NewNorm float64 // normalized cycle throughput (NaN if untimed)
+	DeltaPct         float64 // NewNorm vs OldNorm, percent (NaN if untimed)
+}
+
+// normRate is cycles per wall nanosecond scaled by the host calibration time.
+func normRate(cycles, wall, calib int64) float64 {
+	if wall <= 0 || calib <= 0 {
+		return math.NaN()
+	}
+	return float64(cycles) / float64(wall) * float64(calib)
+}
+
+// Compare diffs two snapshots point by point. Simulated measurements (cycles,
+// sync ops, ...) are deterministic, so any cycle mismatch means the engine's
+// behavior changed between the two builds; wall times are the only
+// host-dependent figures and are compared after calibration normalization.
+func Compare(oldSnap, newSnap *BenchSnapshot) *CompareResult {
+	res := &CompareResult{}
+	oldByKey := make(map[pointKey]*BenchRecord, len(oldSnap.Records))
+	for i := range oldSnap.Records {
+		r := &oldSnap.Records[i]
+		oldByKey[pointKey{r.Workload, r.Scheme, r.Processors}] = r
+	}
+	newByKey := make(map[pointKey]*BenchRecord, len(newSnap.Records))
+	keys := make([]pointKey, 0, len(newSnap.Records))
+	for i := range newSnap.Records {
+		r := &newSnap.Records[i]
+		k := pointKey{r.Workload, r.Scheme, r.Processors}
+		newByKey[k] = r
+		keys = append(keys, k)
+	}
+	for k := range oldByKey {
+		if _, ok := newByKey[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		return a.Processors < b.Processors
+	})
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "benchmark snapshot delta: %s -> %s\n", oldSnap.Version, newSnap.Version)
+	fmt.Fprintf(&sb, "calibration: old %s  new %s\n\n", fmtNanos(oldSnap.CalibNanos), fmtNanos(newSnap.CalibNanos))
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tscheme\tP\tcycles(old)\tcycles(new)\twall(old)\twall(new)\tnorm-thpt Δ")
+
+	var oldCycles, oldWall, newCycles, newWall int64
+	for _, k := range keys {
+		or, hasOld := oldByKey[k]
+		nr, hasNew := newByKey[k]
+		switch {
+		case !hasOld:
+			res.MissingPoints++
+			fmt.Fprintf(tw, "%s\t%s\t%d\t-\t%d\t-\t%s\tnew point\n",
+				k.Workload, k.Scheme, k.Processors, nr.Cycles, fmtNanos(nr.WallNanos))
+			continue
+		case !hasNew:
+			res.MissingPoints++
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t-\t%s\t-\tpoint removed\n",
+				k.Workload, k.Scheme, k.Processors, or.Cycles, fmtNanos(or.WallNanos))
+			continue
+		}
+		mark := ""
+		if or.Cycles != nr.Cycles {
+			res.CycleMismatches++
+			mark = " [cycles changed]"
+		}
+		oldCycles += or.Cycles
+		oldWall += or.WallNanos
+		newCycles += nr.Cycles
+		newWall += nr.WallNanos
+		delta := "-"
+		po := normRate(or.Cycles, or.WallNanos, oldSnap.CalibNanos)
+		pn := normRate(nr.Cycles, nr.WallNanos, newSnap.CalibNanos)
+		if !math.IsNaN(po) && !math.IsNaN(pn) {
+			delta = fmt.Sprintf("%+.1f%%", (pn/po-1)*100)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\t%s\t%s%s\n",
+			k.Workload, k.Scheme, k.Processors, or.Cycles, nr.Cycles,
+			fmtNanos(or.WallNanos), fmtNanos(nr.WallNanos), delta, mark)
+	}
+	tw.Flush()
+
+	res.OldNorm = normRate(oldCycles, oldWall, oldSnap.CalibNanos)
+	res.NewNorm = normRate(newCycles, newWall, newSnap.CalibNanos)
+	res.DeltaPct = (res.NewNorm/res.OldNorm - 1) * 100
+
+	sb.WriteByte('\n')
+	if res.CycleMismatches > 0 {
+		fmt.Fprintf(&sb, "WARNING: %d point(s) changed simulated cycle counts — engine behavior differs between builds\n", res.CycleMismatches)
+	}
+	if res.MissingPoints > 0 {
+		fmt.Fprintf(&sb, "WARNING: %d point(s) present in only one snapshot\n", res.MissingPoints)
+	}
+	if math.IsNaN(res.DeltaPct) {
+		sb.WriteString("aggregate: no normalized throughput (a snapshot lacks wall timing or calibration)\n")
+	} else {
+		fmt.Fprintf(&sb, "aggregate normalized cycle throughput: old %.1f  new %.1f  (%+.1f%%)\n",
+			res.OldNorm, res.NewNorm, res.DeltaPct)
+		fmt.Fprintf(&sb, "aggregate wall time: old %s  new %s over %d shared points\n",
+			fmtNanos(oldWall), fmtNanos(newWall), len(keys)-res.MissingPoints)
+	}
+	res.Report = sb.String()
+	return res
+}
+
+// Gate returns a non-nil error when the new snapshot's normalized cycle
+// throughput regressed by more than pct percent (or when the snapshots cannot
+// be compared at all). Cycle-count changes alone do not fail the gate — they
+// are legitimate when simulator semantics intentionally change, and the
+// determinism/canon tests are the oracle for unintentional ones.
+func (r *CompareResult) Gate(pct float64) error {
+	if math.IsNaN(r.DeltaPct) {
+		return fmt.Errorf("bench gate: snapshots lack wall timing or calibration; cannot compute normalized throughput")
+	}
+	if r.MissingPoints > 0 {
+		return fmt.Errorf("bench gate: %d grid point(s) missing from one snapshot", r.MissingPoints)
+	}
+	if r.DeltaPct < -pct {
+		return fmt.Errorf("bench gate: normalized cycle throughput regressed %.1f%% (threshold %.1f%%)", -r.DeltaPct, pct)
+	}
+	return nil
+}
+
+// fmtNanos renders a nanosecond count as milliseconds for the delta table.
+func fmtNanos(n int64) string {
+	if n <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fms", float64(n)/1e6)
+}

@@ -1,0 +1,103 @@
+package exper
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// mkSnap builds a synthetic snapshot: each point's cycles and wall time, on a
+// host whose calibration loop took calib nanoseconds.
+func mkSnap(calib int64, points ...BenchRecord) *BenchSnapshot {
+	return &BenchSnapshot{Version: SnapshotVersion, Go: "gotest", CalibNanos: calib, Records: points}
+}
+
+func pt(w, s string, p int, cycles, wall int64) BenchRecord {
+	return BenchRecord{Workload: w, Scheme: s, Processors: p, Cycles: cycles, WallNanos: wall}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	a := mkSnap(100, pt("w", "s", 4, 1000, 50), pt("w", "s", 8, 900, 40))
+	res := Compare(a, a)
+	if res.CycleMismatches != 0 || res.MissingPoints != 0 {
+		t.Fatalf("mismatches=%d missing=%d on self-compare", res.CycleMismatches, res.MissingPoints)
+	}
+	if math.Abs(res.DeltaPct) > 1e-9 {
+		t.Fatalf("DeltaPct = %v on self-compare, want 0", res.DeltaPct)
+	}
+	if err := res.Gate(10); err != nil {
+		t.Fatalf("gate failed on self-compare: %v", err)
+	}
+}
+
+func TestCompareGateFailsOnRegression(t *testing.T) {
+	old := mkSnap(100, pt("w", "s", 4, 1000, 50))
+	slow := mkSnap(100, pt("w", "s", 4, 1000, 100)) // half the throughput
+	res := Compare(old, slow)
+	if res.DeltaPct > -49 {
+		t.Fatalf("DeltaPct = %.1f, want about -50", res.DeltaPct)
+	}
+	if err := res.Gate(10); err == nil {
+		t.Fatal("gate passed a 50% regression")
+	}
+	// The same wall times on a proportionally slower host (calibration loop
+	// also took 2x) must normalize away and pass.
+	slowHost := mkSnap(200, pt("w", "s", 4, 1000, 100))
+	if err := Compare(old, slowHost).Gate(10); err != nil {
+		t.Fatalf("gate failed after host normalization: %v", err)
+	}
+}
+
+func TestCompareGateToleratesSmallSlowdown(t *testing.T) {
+	old := mkSnap(100, pt("w", "s", 4, 1000, 100))
+	minor := mkSnap(100, pt("w", "s", 4, 1000, 105)) // ~4.8% slower
+	if err := Compare(old, minor).Gate(10); err != nil {
+		t.Fatalf("gate failed a within-threshold slowdown: %v", err)
+	}
+}
+
+func TestCompareReportsCycleMismatch(t *testing.T) {
+	old := mkSnap(100, pt("w", "s", 4, 1000, 50))
+	chg := mkSnap(100, pt("w", "s", 4, 1100, 50))
+	res := Compare(old, chg)
+	if res.CycleMismatches != 1 {
+		t.Fatalf("CycleMismatches = %d, want 1", res.CycleMismatches)
+	}
+	if !strings.Contains(res.Report, "cycles changed") {
+		t.Fatalf("report does not flag the cycle change:\n%s", res.Report)
+	}
+}
+
+func TestCompareGateFailsOnMissingPoints(t *testing.T) {
+	old := mkSnap(100, pt("w", "s", 4, 1000, 50), pt("w", "s", 8, 900, 40))
+	sub := mkSnap(100, pt("w", "s", 4, 1000, 50))
+	res := Compare(old, sub)
+	if res.MissingPoints != 1 {
+		t.Fatalf("MissingPoints = %d, want 1", res.MissingPoints)
+	}
+	if err := res.Gate(10); err == nil {
+		t.Fatal("gate passed with a grid point missing")
+	}
+}
+
+func TestCompareUntimedSnapshotsCannotGate(t *testing.T) {
+	// v1 snapshots carried no wall times; the gate must refuse rather than
+	// silently pass.
+	old := mkSnap(0, BenchRecord{Workload: "w", Scheme: "s", Processors: 4, Cycles: 1000})
+	res := Compare(old, old)
+	if !math.IsNaN(res.DeltaPct) {
+		t.Fatalf("DeltaPct = %v for untimed snapshots, want NaN", res.DeltaPct)
+	}
+	if err := res.Gate(10); err == nil {
+		t.Fatal("gate passed untimed snapshots")
+	}
+}
+
+func TestCalibrateReturnsPositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration loop in -short mode")
+	}
+	if c := Calibrate(); c <= 0 {
+		t.Fatalf("Calibrate() = %d, want > 0", c)
+	}
+}

@@ -2,11 +2,18 @@ package exper
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"time"
 
 	"github.com/csrd-repro/datasync/internal/codegen"
 	"github.com/csrd-repro/datasync/internal/workloads"
 )
+
+// SnapshotVersion identifies the snapshot schema. v2 added per-record wall
+// times and the host calibration figure that makes cycle-throughput
+// comparable across machines.
+const SnapshotVersion = "dsbench-snapshot-v2"
 
 // BenchRecord is one measured point of the benchmark snapshot: a workload x
 // scheme x machine triple with the headline simulator measurements. The
@@ -27,17 +34,62 @@ type BenchRecord struct {
 	Polls        int64   `json:"polls"`
 	SyncVars     int     `json:"syncVars"`
 	StorageWords int64   `json:"storageWords"`
+	// WallNanos is the best-of-repeats wall time of the whole simulate-and-
+	// verify run of this point (0 in untimed snapshots). Simulated results
+	// are deterministic; only this field varies between hosts.
+	WallNanos int64 `json:"wallNanos,omitempty"`
 }
 
 // BenchSnapshot is the machine-readable output of `dsbench -json`: a
-// canonical workload x scheme grid measured on the base machine. CI uploads
-// it as an artifact so perf movement between commits shows up as a JSON
-// diff rather than a re-run.
+// canonical workload x scheme grid measured on the base machine. CI compares
+// it against the committed BENCH_*.json baseline (scripts/bench_gate.sh) and
+// uploads the delta table, so perf movement between commits is gated rather
+// than merely archived.
 type BenchSnapshot struct {
-	Version string        `json:"version"`
-	Go      string        `json:"go"`
-	Records []BenchRecord `json:"records"`
+	Version string `json:"version"`
+	Go      string `json:"go"`
+	// CalibNanos is the best-of-3 wall time of a fixed, simulator-
+	// independent arithmetic loop on the measuring host. Dividing a
+	// snapshot's cycle throughput by the host's calibration throughput
+	// cancels raw scalar speed, so baselines recorded on one machine gate
+	// runs on another.
+	CalibNanos int64         `json:"calibNanos,omitempty"`
+	Records    []BenchRecord `json:"records"`
 }
+
+// Calibrate times the fixed reference loop (2^24 splitmix64 rounds): one
+// untimed warmup round to settle CPU frequency scaling, then the best of 5
+// timed rounds. The minimum is the host's unloaded speed — robust against
+// noise spikes, which only ever make rounds slower.
+func Calibrate() int64 {
+	round := func() int64 {
+		start := time.Now()
+		x := uint64(0x9e3779b97f4a7c15)
+		var acc uint64
+		for i := 0; i < 1<<24; i++ {
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z ^= z >> 30
+			z *= 0xbf58476d1ce4e5b9
+			z ^= z >> 27
+			z *= 0x94d049bb133111eb
+			acc += z ^ z>>31
+		}
+		calibSink = acc
+		return time.Since(start).Nanoseconds()
+	}
+	round() // warmup
+	best := int64(math.MaxInt64)
+	for r := 0; r < 5; r++ {
+		if d := round(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// calibSink defeats dead-code elimination of the calibration loop.
+var calibSink uint64
 
 // benchPair is one cell of the canonical grid. Scheme construction is
 // deferred (mk) because the instance-based scheme is stateful and must be
@@ -88,32 +140,59 @@ func snapshotPairs() []benchPair {
 }
 
 // Snapshot measures the canonical grid at 4 and 8 processors on the base
-// machine and returns the machine-readable snapshot.
-func Snapshot() (*BenchSnapshot, error) {
-	snap := &BenchSnapshot{Version: "dsbench-snapshot-v1", Go: runtime.Version()}
+// machine and returns the machine-readable snapshot, timing each point once.
+func Snapshot() (*BenchSnapshot, error) { return SnapshotTimed(1) }
+
+// SnapshotTimed measures the canonical grid, running every point `repeats`
+// times and recording the best wall time (simulated results must agree
+// between repeats — the engine is deterministic, and a disagreement is
+// reported as an error rather than averaged away).
+func SnapshotTimed(repeats int) (*BenchSnapshot, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	snap := &BenchSnapshot{Version: SnapshotVersion, Go: runtime.Version(), CalibNanos: Calibrate()}
 	for _, procs := range []int{4, 8} {
 		for _, pair := range snapshotPairs() {
-			res, err := codegen.Run(pair.build(), pair.mk(), baseCfg(procs))
-			if err != nil {
-				return nil, fmt.Errorf("snapshot %s/%s at P=%d: %w", pair.workload, pair.scheme, procs, err)
+			var rec BenchRecord
+			best := int64(math.MaxInt64)
+			for r := 0; r < repeats; r++ {
+				start := time.Now()
+				res, err := codegen.Run(pair.build(), pair.mk(), baseCfg(procs))
+				wall := time.Since(start).Nanoseconds()
+				if err != nil {
+					return nil, fmt.Errorf("snapshot %s/%s at P=%d: %w", pair.workload, pair.scheme, procs, err)
+				}
+				if wall < best {
+					best = wall
+				}
+				if r > 0 {
+					if rec.Cycles != res.Stats.Cycles {
+						return nil, fmt.Errorf("snapshot %s/%s at P=%d: nondeterministic cycles (%d then %d)",
+							pair.workload, pair.scheme, procs, rec.Cycles, res.Stats.Cycles)
+					}
+					continue
+				}
+				st := res.Stats
+				rec = BenchRecord{
+					Workload:     pair.workload,
+					Scheme:       pair.scheme,
+					Processors:   procs,
+					Iterations:   st.Iterations,
+					SerialCycles: res.SerialCycles,
+					Cycles:       st.Cycles,
+					Speedup:      res.Speedup(),
+					Utilization:  st.Utilization(),
+					SyncOps:      st.SyncOps,
+					WaitSync:     st.WaitSyncTotal(),
+					BusTx:        st.BusBroadcasts,
+					Polls:        st.Polls,
+					SyncVars:     res.Foot.SyncVars,
+					StorageWords: res.Foot.StorageWords,
+				}
 			}
-			st := res.Stats
-			snap.Records = append(snap.Records, BenchRecord{
-				Workload:     pair.workload,
-				Scheme:       pair.scheme,
-				Processors:   procs,
-				Iterations:   st.Iterations,
-				SerialCycles: res.SerialCycles,
-				Cycles:       st.Cycles,
-				Speedup:      res.Speedup(),
-				Utilization:  st.Utilization(),
-				SyncOps:      st.SyncOps,
-				WaitSync:     st.WaitSyncTotal(),
-				BusTx:        st.BusBroadcasts,
-				Polls:        st.Polls,
-				SyncVars:     res.Foot.SyncVars,
-				StorageWords: res.Foot.StorageWords,
-			})
+			rec.WallNanos = best
+			snap.Records = append(snap.Records, rec)
 		}
 	}
 	return snap, nil

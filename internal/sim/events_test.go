@@ -1,0 +1,105 @@
+package sim
+
+import "testing"
+
+// TestEventQOrdering checks the 4-ary heap pops events in strict (t, seq)
+// order regardless of push order — the total order the engine's determinism
+// rests on.
+func TestEventQOrdering(t *testing.T) {
+	var q eventQ
+	x := uint64(0x9e3779b97f4a7c15)
+	next := func() int64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int64(x % 997)
+	}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		q.push(event{t: next(), seq: int64(i)})
+	}
+	if q.len() != n {
+		t.Fatalf("len = %d, want %d", q.len(), n)
+	}
+	last := q.pop()
+	for i := 1; i < n; i++ {
+		e := q.pop()
+		if eventBefore(&e, &last) {
+			t.Fatalf("pop %d out of order: (%d,%d) after (%d,%d)", i, e.t, e.seq, last.t, last.seq)
+		}
+		last = e
+	}
+	if q.len() != 0 {
+		t.Fatalf("len = %d after draining, want 0", q.len())
+	}
+}
+
+// TestRemovePendReleasesTailSlot pins the removePend fix: the vacated
+// backing-array slot must not keep pointing at the removed *pending (the
+// old append-shift delete pinned freed entries for the run's lifetime), and
+// removed entries must reach the freelist for reuse.
+func TestRemovePendReleasesTailSlot(t *testing.T) {
+	m := New(Config{Processors: 3, BusLatency: 4, SyncOpCost: 1})
+	v := m.NewRegVar("v", 0)
+	_, err := m.RunProcesses([][]Op{
+		{WriteVar(v, 1, "w1")},
+		{WriteVar(v, 2, "w2")},
+		{WriteVar(v, 3, "w3")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := m.vars[v]
+	if len(sv.pend) != 0 {
+		t.Fatalf("%d pend entries after the run, want 0", len(sv.pend))
+	}
+	// Three broadcasts queued at once, so the backing array held >= 2
+	// entries; every vacated slot must be nil.
+	if cap(sv.pend) < 2 {
+		t.Fatalf("pend backing capacity %d; the scenario should have queued concurrent writes", cap(sv.pend))
+	}
+	for i, pe := range sv.pend[:cap(sv.pend)] {
+		if pe != nil {
+			t.Errorf("pend backing slot %d still retains %+v", i, *pe)
+		}
+	}
+	if len(m.pendFree) == 0 {
+		t.Error("no pending entries reached the freelist")
+	}
+}
+
+// TestWaiterDrainReleasesTailSlots pins the in-place waiter drain: after a
+// commit releases waiters, the survivors are compacted over the old slots
+// and the vacated tail is nil-ed, so the backing array does not retain
+// released *blockedWait records.
+func TestWaiterDrainReleasesTailSlots(t *testing.T) {
+	m := New(Config{Processors: 4, BusLatency: 1, SyncOpCost: 1})
+	v := m.NewRegVar("gate", 0)
+	st, err := m.RunProcesses([][]Op{
+		{Compute(3, nil, "work"), WriteVar(v, 3, "raise")},
+		{WaitGE(v, 1, "w1")},
+		{WaitGE(v, 2, "w2")},
+		{WaitGE(v, 3, "w3")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+	sv := m.vars[v]
+	if len(sv.waiters) != 0 {
+		t.Fatalf("%d waiters after the run, want 0", len(sv.waiters))
+	}
+	if cap(sv.waiters) < 3 {
+		t.Fatalf("waiter backing capacity %d, want >= 3 (all three waiters parked)", cap(sv.waiters))
+	}
+	for i, w := range sv.waiters[:cap(sv.waiters)] {
+		if w != nil {
+			t.Errorf("waiter backing slot %d still retains a released waiter (tag %q)", i, w.tag)
+		}
+	}
+	if len(m.waitFree) == 0 {
+		t.Error("no blockedWait records reached the freelist")
+	}
+}

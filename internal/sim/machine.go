@@ -1,8 +1,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"strings"
 
 	"github.com/csrd-repro/datasync/internal/fault"
@@ -168,6 +168,19 @@ type syncVar struct {
 	committed int64
 	pend      []*pending // register writes in flight (bus queue + active)
 	waiters   []*blockedWait
+	// minWait is the smallest threshold among waiters (valid only when
+	// waiters is non-empty). A commit below it cannot release anyone, so
+	// wake can skip the waiter scan entirely — the batching invariant that
+	// makes value-advancing commits O(1) per syncVar.
+	minWait int64
+}
+
+// addWaiter parks w on v, maintaining the minWait frontier.
+func (v *syncVar) addWaiter(w *blockedWait) {
+	if len(v.waiters) == 0 || w.min < v.minWait {
+		v.minWait = w.min
+	}
+	v.waiters = append(v.waiters, w)
 }
 
 // visibleTo returns the value processor p observes: the committed value,
@@ -268,27 +281,6 @@ type proc struct {
 	reclaimed        bool
 }
 
-type event struct {
-	t, seq int64
-	fn     func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
-
-var _ heap.Interface = (*eventHeap)(nil)
-
 // Machine is one simulation instance. Declare synchronization variables,
 // then call RunLoop or RunProcesses exactly once.
 type Machine struct {
@@ -297,12 +289,21 @@ type Machine struct {
 	vars []*syncVar
 	mods []*module
 
+	// busQueue[busHead:] are the broadcasts waiting for the bus. Dequeue
+	// advances busHead (nil-ing the vacated slot) instead of reslicing, so
+	// the backing array is reused once the queue drains empty.
 	busQueue  []*busEntry
+	busHead   int
 	busActive bool
 
-	events eventHeap
+	events eventQ
 	now    int64
 	seq    int64
+
+	// Per-run freelists for the commit loop's transient objects.
+	pendFree  []*pending
+	entryFree []*busEntry
+	waitFree  []*blockedWait
 
 	procs     []*proc
 	program   Program
@@ -370,11 +371,6 @@ func (m *Machine) NewMemVar(name string, mod int, init int64) VarID {
 // VarValue returns a variable's committed value (for post-run assertions).
 func (m *Machine) VarValue(v VarID) int64 { return m.vars[v].committed }
 
-func (m *Machine) at(t int64, fn func()) {
-	heap.Push(&m.events, event{t: t, seq: m.seq, fn: fn})
-	m.seq++
-}
-
 // RunLoop executes iterations 1..iters of the program on the machine's
 // processors under in-order self-scheduling and returns the run statistics.
 func (m *Machine) RunLoop(iters int64, prog Program) (Stats, error) {
@@ -386,8 +382,7 @@ func (m *Machine) RunLoop(iters int64, prog Program) (Stats, error) {
 		m.nextIter = iters
 	}
 	for _, p := range m.procs {
-		p := p
-		m.at(0, func() { m.dispatch(p) })
+		m.post(0, event{kind: evDispatch, p: p})
 	}
 	return m.drain()
 }
@@ -400,10 +395,9 @@ func (m *Machine) RunProcesses(progs [][]Op) (Stats, error) {
 	}
 	m.startRun()
 	for i, p := range m.procs {
-		p := p
 		p.ops = progs[i]
 		p.iterations = 1
-		m.at(0, func() { m.step(p) })
+		m.post(0, event{kind: evStep, p: p})
 	}
 	return m.drain()
 }
@@ -426,15 +420,15 @@ func (m *Machine) startRun() {
 
 func (m *Machine) drain() (Stats, error) {
 	maxed := false
-	for len(m.events) > 0 && m.err == nil {
-		e := heap.Pop(&m.events).(event)
-		if e.t > m.cfg.MaxCycles {
+	for m.events.len() > 0 && m.err == nil {
+		ev := m.events.pop()
+		if ev.t > m.cfg.MaxCycles {
 			maxed = true
 			m.err = fmt.Errorf("sim: exceeded MaxCycles=%d (livelock?)", m.cfg.MaxCycles)
 			break
 		}
-		m.now = e.t
-		e.fn()
+		m.now = ev.t
+		m.exec(&ev)
 	}
 	if m.err == nil {
 		if blocked := m.blockedReport(); blocked != "" {
@@ -530,7 +524,7 @@ func (m *Machine) dispatch(p *proc) {
 	p.ip = 0
 	if overhead > 0 {
 		p.busy += overhead
-		m.at(m.now+overhead, func() { m.step(p) })
+		m.post(m.now+overhead, event{kind: evStep, p: p})
 		return
 	}
 	m.step(p)
@@ -584,15 +578,8 @@ func (m *Machine) step(p *proc) {
 				m.recordAccess(p, op)
 				continue
 			}
-			exec, o := op.Exec, op
 			m.addTrace(p, m.now, m.now+cycles, TraceCompute, op.Tag)
-			m.at(m.now+cycles, func() {
-				if exec != nil {
-					exec()
-				}
-				m.recordAccess(p, o)
-				m.step(p)
-			})
+			m.post(m.now+cycles, event{kind: evCompute, p: p, op: op})
 			return
 
 		case OpWrite:
@@ -611,32 +598,19 @@ func (m *Machine) step(p *proc) {
 				p.ip++
 				p.busy += m.cfg.SyncOpCost
 				if m.cfg.SyncOpCost > 0 {
-					m.at(m.now+m.cfg.SyncOpCost, func() { m.step(p) })
+					m.post(m.now+m.cfg.SyncOpCost, event{kind: evStep, p: p})
 					return
 				}
 				continue
 			}
 			// Memory write: blocks through the module queue.
-			val, exec := op.Value, op.Exec
-			start, end := m.mods[v.module].enqueue(m.now, m.memLatency(v.module, p.id))
-			_ = start
+			_, end := m.mods[v.module].enqueue(m.now, m.memLatency(v.module, p.id))
 			m.addTrace(p, m.now, end, TraceService, op.Tag)
 			p.waitMem += end - m.now
 			p.ip++
 			p.state = stateBlocked
 			p.blockedSince = m.now
-			mod := m.mods[v.module]
-			m.at(end, func() {
-				mod.jobs--
-				if val > v.committed {
-					v.committed = val
-				}
-				m.wake(v)
-				if exec != nil {
-					exec()
-				}
-				m.step(p)
-			})
+			m.post(end, event{kind: evMemWrite, p: p, op: op, v: v})
 			return
 
 		case OpWait:
@@ -653,7 +627,7 @@ func (m *Machine) step(p *proc) {
 						p.blockedSince = m.now
 						p.waitSync += d
 						m.addTrace(p, m.now, m.now+d, TraceWait, op.Tag)
-						m.at(m.now+d, func() { m.step(p) })
+						m.post(m.now+d, event{kind: evStep, p: p})
 						return
 					}
 				}
@@ -664,7 +638,7 @@ func (m *Machine) step(p *proc) {
 				p.ip++
 				p.busy += m.cfg.SyncOpCost
 				if m.cfg.SyncOpCost > 0 {
-					m.at(m.now+m.cfg.SyncOpCost, func() { m.step(p) })
+					m.post(m.now+m.cfg.SyncOpCost, event{kind: evStep, p: p})
 					return
 				}
 				continue
@@ -673,7 +647,7 @@ func (m *Machine) step(p *proc) {
 			p.blockedSince = m.now
 			if v.res == Register {
 				// Spin on the local register image: woken by commit.
-				v.waiters = append(v.waiters, &blockedWait{p: p, min: op.Value, tag: op.Tag})
+				v.addWaiter(m.allocWait(p, op.Value, op.Tag))
 				return
 			}
 			// Poll through the memory module: each probe is a module access.
@@ -696,7 +670,7 @@ func (m *Machine) step(p *proc) {
 			p.ip++
 			p.busy += m.cfg.SyncOpCost
 			if m.cfg.SyncOpCost > 0 {
-				m.at(m.now+m.cfg.SyncOpCost, func() { m.step(p) })
+				m.post(m.now+m.cfg.SyncOpCost, event{kind: evStep, p: p})
 				return
 			}
 			continue
@@ -707,24 +681,13 @@ func (m *Machine) step(p *proc) {
 			if v.res != Memory {
 				panic(fmt.Sprintf("sim: RMW on register variable %s", v.name))
 			}
-			apply, exec, tag := op.Apply, op.Exec, op.Tag
 			_, end := m.mods[v.module].enqueue(m.now, m.memLatency(v.module, p.id))
 			m.addTrace(p, m.now, end, TraceService, op.Tag)
 			p.waitMem += end - m.now
 			p.ip++
 			p.state = stateBlocked
 			p.blockedSince = m.now
-			mod := m.mods[v.module]
-			m.at(end, func() {
-				mod.jobs--
-				v.committed = apply(v.committed)
-				m.recordSync(SyncEvent{Proc: p.id, Iter: p.iter, Kind: SyncSignal, Var: v.id, Value: v.committed, Tag: tag})
-				m.wake(v)
-				if exec != nil {
-					exec()
-				}
-				m.step(p)
-			})
+			m.post(end, event{kind: evRMW, p: p, op: op, v: v})
 			return
 
 		default:
@@ -746,62 +709,64 @@ func (m *Machine) memLatency(mod, procID int) int64 {
 // poll issues one busy-wait probe of a memory variable through its module.
 func (m *Machine) poll(p *proc, v *syncVar, op *Op) {
 	m.polls++
-	mod := m.mods[v.module]
-	_, end := mod.enqueue(m.now, m.memLatency(v.module, p.id))
-	min, exec := op.Value, op.Exec
-	tag := op.Tag
-	m.at(end, func() {
-		mod.jobs--
-		if v.committed >= min {
-			p.waitSync += m.now - p.blockedSince
-			m.addTrace(p, p.blockedSince, m.now, TraceWait, tag)
-			m.recordSync(SyncEvent{Proc: p.id, Iter: p.iter, Kind: SyncWaitDone, Var: v.id, Value: min, Tag: tag})
-			if exec != nil {
-				exec()
-			}
-			p.ip++
-			m.step(p)
-			return
-		}
-		m.poll(p, v, op)
-	})
+	_, end := m.mods[v.module].enqueue(m.now, m.memLatency(v.module, p.id))
+	m.post(end, event{kind: evPoll, p: p, op: op, v: v})
 }
 
-// wake resumes register waiters whose condition a commit has satisfied.
+// wake resumes register waiters whose condition a commit has satisfied. The
+// minWait frontier makes the common case — a commit that advances the value
+// but releases nobody — O(1): the waiter list is only scanned when the
+// committed value actually crosses some waiter's threshold, so a same-cycle
+// burst of commits touches each syncVar's waiters at most once per
+// releasing commit. Survivors are filtered in place over v.waiters[:0] and
+// the vacated tail is nil-ed so released waiters aren't pinned by the
+// backing array.
 func (m *Machine) wake(v *syncVar) {
-	if len(v.waiters) == 0 {
+	if len(v.waiters) == 0 || v.committed < v.minWait {
 		return
 	}
-	var still []*blockedWait
+	kept := v.waiters[:0]
+	newMin := int64(math.MaxInt64)
 	for _, w := range v.waiters {
 		if v.committed >= w.min {
-			w := w
 			if m.inj != nil {
 				m.staleChecks++
 				if d := m.inj.StaleRead(m.staleChecks, w.p.id, int64(v.id)); d > 0 {
 					// The waiter's local register image lags this commit:
 					// it keeps spinning on the stale value for d cycles
 					// before observing the release.
-					m.at(m.now+d, func() { m.release(v, w) })
+					m.post(m.now+d, event{kind: evRelease, v: v, w: w})
 					continue
 				}
 			}
 			m.release(v, w)
 		} else {
-			still = append(still, w)
+			kept = append(kept, w)
+			if w.min < newMin {
+				newMin = w.min
+			}
 		}
 	}
-	v.waiters = still
+	tail := v.waiters[len(kept):]
+	for i := range tail {
+		tail[i] = nil
+	}
+	v.waiters = kept
+	v.minWait = newMin
 }
 
 // release resumes one satisfied register waiter, charging the full blocked
-// interval (including any injected stale-read lag) to WaitSync.
+// interval (including any injected stale-read lag) to WaitSync. The waiter
+// has already left v.waiters (wake removed it), so its record is recycled
+// here.
 func (m *Machine) release(v *syncVar, w *blockedWait) {
-	w.p.waitSync += m.now - w.p.blockedSince
-	m.addTrace(w.p, w.p.blockedSince, m.now, TraceWait, w.tag)
-	m.recordSync(SyncEvent{Proc: w.p.id, Iter: w.p.iter, Kind: SyncWaitDone, Var: v.id, Value: w.min, Tag: w.tag})
-	w.p.ip++
-	m.at(m.now, func() { m.step(w.p) })
+	p := w.p
+	p.waitSync += m.now - p.blockedSince
+	m.addTrace(p, p.blockedSince, m.now, TraceWait, w.tag)
+	m.recordSync(SyncEvent{Proc: p.id, Iter: p.iter, Kind: SyncWaitDone, Var: v.id, Value: w.min, Tag: w.tag})
+	p.ip++
+	m.post(m.now, event{kind: evStep, p: p})
+	m.freeWait(w)
 }
 
 // busIssue posts a register write on the synchronization bus.
@@ -811,7 +776,7 @@ func (m *Machine) busIssue(v *syncVar, val int64, procID int, tag string) {
 	if m.cfg.BusCoverage {
 		// A queued-but-unstarted broadcast of the same variable from the
 		// same processor is covered by this newer write.
-		for _, e := range m.busQueue {
+		for _, e := range m.busQueue[m.busHead:] {
 			if !e.seen && e.v == v && e.pe.proc == procID {
 				e.pe.val = val
 				e.tag = tag
@@ -820,15 +785,17 @@ func (m *Machine) busIssue(v *syncVar, val int64, procID int, tag string) {
 			}
 		}
 	}
-	pe := &pending{proc: procID, val: val}
+	pe := m.allocPending(procID, val)
 	v.pend = append(v.pend, pe)
-	e := &busEntry{v: v, pe: pe, tag: tag}
+	e := m.allocEntry(v, pe, tag)
 	if m.inj != nil {
 		if m.inj.DropBroadcast(seq, procID, int64(v.id)) {
 			// The broadcast is lost: the writer keeps its local image (the
 			// pend entry) but no commit ever happens, so remote waiters on
 			// this value starve. The drain-time diagnosis attributes the
-			// resulting stall to this drop.
+			// resulting stall to this drop. The pend entry must outlive the
+			// run (it IS the local image); only the bus entry is recycled.
+			m.freeEntry(e)
 			return
 		}
 		e.extra = m.inj.DelayBroadcast(seq, procID, int64(v.id))
@@ -840,7 +807,7 @@ func (m *Machine) busIssue(v *syncVar, val int64, procID int, tag string) {
 	}
 	if m.cfg.BusLatency == 0 {
 		if e.extra > 0 {
-			m.at(m.now+e.extra, func() { m.commit(e) })
+			m.post(m.now+e.extra, event{kind: evCommit, e: e})
 			return
 		}
 		m.commit(e)
@@ -853,17 +820,16 @@ func (m *Machine) busIssue(v *syncVar, val int64, procID int, tag string) {
 }
 
 func (m *Machine) busStart() {
-	e := m.busQueue[0]
-	m.busQueue = m.busQueue[1:]
+	e := m.busQueue[m.busHead]
+	m.busQueue[m.busHead] = nil
+	m.busHead++
+	if m.busHead == len(m.busQueue) {
+		m.busQueue = m.busQueue[:0]
+		m.busHead = 0
+	}
 	e.seen = true
 	m.busActive = true
-	m.at(m.now+m.cfg.BusLatency+e.extra, func() {
-		m.commit(e)
-		m.busActive = false
-		if len(m.busQueue) > 0 {
-			m.busStart()
-		}
-	})
+	m.post(m.now+m.cfg.BusLatency+e.extra, event{kind: evBusDone, e: e})
 }
 
 // commit makes a register write globally visible and wakes waiters.
@@ -872,23 +838,19 @@ func (m *Machine) commit(e *busEntry) {
 		m.commitTorn(e)
 		return
 	}
-	v := e.v
-	if e.pe.val > v.committed {
-		v.committed = e.pe.val
+	v, val := e.v, e.pe.val
+	if val > v.committed {
+		v.committed = val
 	}
 	m.removePend(v, e.pe)
 	m.wake(v)
 	if e.dup {
 		// The duplicate delivery lands one cycle later; monotone sync
-		// variables must absorb it without effect.
-		val := e.pe.val
-		m.at(m.now+1, func() {
-			if val > v.committed {
-				v.committed = val
-			}
-			m.wake(v)
-		})
+		// variables must absorb it without effect. The value rides in the
+		// event itself, so the entry can be recycled now.
+		m.post(m.now+1, event{kind: evDupCommit, v: v, val: val})
 	}
+	m.freeEntry(e)
 }
 
 // commitTorn commits an injected torn two-field <owner,step> update: one
@@ -913,21 +875,23 @@ func (m *Machine) commitTorn(e *busEntry) {
 		v.committed = first
 	}
 	m.wake(v)
-	m.at(m.now+e.torn.window, func() {
-		// Second half: the variable holds exactly the written word unless a
-		// later write already advanced past it.
-		if v.committed == first || final > v.committed {
-			v.committed = final
-		}
-		m.removePend(v, e.pe)
-		m.wake(v)
-	})
+	// The second half (evTornSecond) carries the intermediate word in the
+	// event and finds the final word through e.pe, which stays parked until
+	// the split completes.
+	m.post(m.now+e.torn.window, event{kind: evTornSecond, e: e, val: first})
 }
 
+// removePend unparks a committed write. visibleTo takes a max over pend, so
+// order is irrelevant: swap-remove, and nil the vacated tail slot so the
+// backing array doesn't pin the recycled entry.
 func (m *Machine) removePend(v *syncVar, pe *pending) {
 	for i, q := range v.pend {
 		if q == pe {
-			v.pend = append(v.pend[:i], v.pend[i+1:]...)
+			last := len(v.pend) - 1
+			v.pend[i] = v.pend[last]
+			v.pend[last] = nil
+			v.pend = v.pend[:last]
+			m.freePending(pe)
 			return
 		}
 	}

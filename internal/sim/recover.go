@@ -100,7 +100,7 @@ func (m *Machine) scheduleReclaim(p *proc) {
 	}
 	p.reclaimScheduled = true
 	m.reclaims++
-	m.at(m.now+m.cfg.Recover.AfterCycles, func() { m.reclaim(p) })
+	m.post(m.now+m.cfg.Recover.AfterCycles, event{kind: evReclaim, p: p})
 }
 
 // reclaim forcibly takes the halted processor's PC ownership: the orphan
