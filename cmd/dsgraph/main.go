@@ -84,8 +84,9 @@ func main() {
 	if unknown := g.UnknownArcs(); len(unknown) > 0 {
 		fmt.Println("\nWARNING: dependences without constant distance (not enforceable):")
 		for _, a := range unknown {
-			fmt.Printf("%s -%s(?)-> %s  (%s vs %s)\n",
-				g.Stmts[a.Src].Name, a.Kind, g.Stmts[a.Dst].Name, a.SrcRef, a.DstRef)
+			fmt.Printf("%s -%s(?%s)-> %s  (%s vs %s: %s)\n",
+				g.Stmts[a.Src].Name, a.Kind, a.Reason, g.Stmts[a.Dst].Name,
+				a.SrcRef, a.DstRef, a.Reason.Explain())
 		}
 	}
 

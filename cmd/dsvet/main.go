@@ -11,6 +11,7 @@
 //	dsvet                              # all built-in workloads x all schemes
 //	dsvet -workload fig21 -scheme ref  # one pair
 //	dsvet -file loop.do -scheme all    # a .do file under every scheme
+//	dsvet -source loops.go             # Go loop nests via the static frontend
 //	dsvet -dynamic -json               # include trace replay, emit JSON
 //
 // Exit status: 0 all pairs verified clean (advisory notes allowed), 1 hard
@@ -29,6 +30,7 @@ import (
 
 	"github.com/csrd-repro/datasync/internal/codegen"
 	"github.com/csrd-repro/datasync/internal/fault"
+	"github.com/csrd-repro/datasync/internal/frontend"
 	"github.com/csrd-repro/datasync/internal/lang"
 	"github.com/csrd-repro/datasync/internal/sim"
 	"github.com/csrd-repro/datasync/internal/verify"
@@ -49,6 +51,7 @@ type pairResult struct {
 func main() {
 	workload := flag.String("workload", "all", "built-in workload: fig21, nested, branchy, recurrence, stencil, all")
 	file := flag.String("file", "", "verify a .do file instead of a built-in workload")
+	source := flag.String("source", "", "verify the loop nests of a Go source file (lowered by the static frontend)")
 	schemeName := flag.String("scheme", "all", "process, process-basic, statement, ref, instance, all")
 	n := flag.Int64("n", 40, "iterations (outer extent for nested, grid size for stencil)")
 	m := flag.Int64("m", 8, "inner extent (nested workload)")
@@ -64,7 +67,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON array of pair results instead of text")
 	flag.Parse()
 
-	ws, err := selectWorkloads(*workload, *file, *n, *m, *d, *cost)
+	ws, err := selectWorkloads(*workload, *file, *source, *n, *m, *d, *cost)
 	if err != nil {
 		usage(err)
 	}
@@ -157,7 +160,28 @@ func main() {
 	}
 }
 
-func selectWorkloads(name, file string, n, m, d, cost int64) ([]*codegen.Workload, error) {
+func selectWorkloads(name, file, source string, n, m, d, cost int64) ([]*codegen.Workload, error) {
+	if source != "" {
+		// Lowering rejections are not verification findings: they go to
+		// stderr as positioned diagnostics, and the accepted loops are
+		// verified like any other workload. A file yielding no loops is a
+		// usage error (exit 2), matching the extraction-error convention.
+		res, err := frontend.LowerFile(source)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range res.Rejected {
+			fmt.Fprintln(os.Stderr, d.String())
+		}
+		if len(res.Loops) == 0 {
+			return nil, fmt.Errorf("%s: no lowerable loop nests (%d candidate(s) rejected)", source, len(res.Rejected))
+		}
+		ws := make([]*codegen.Workload, len(res.Loops))
+		for i, lp := range res.Loops {
+			ws[i] = lp.Workload
+		}
+		return ws, nil
+	}
 	if file != "" {
 		src, err := os.ReadFile(file)
 		if err != nil {

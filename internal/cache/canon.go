@@ -44,6 +44,30 @@ func RequestKey(w *codegen.Workload, scheme string, cfg sim.Config, extra ...str
 	return k
 }
 
+// CompileKey is the content address of one Go-source compile request (the
+// /compile endpoint and the dsgo CLI). The frontend is deterministic, so
+// the source bytes fully determine the lowered workloads and diagnostics;
+// the key therefore hashes the raw source (length-prefixed), the labeling
+// filename (it appears in diagnostic positions), the canonical
+// parameterized scheme names, and the machine configuration, under its own
+// "compile" section so a compile address can never collide with a run or
+// verify address for related content.
+func CompileKey(filename string, src []byte, schemes []string, cfg sim.Config) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00compile\x00", canonVersion)
+	fmt.Fprintf(h, "file\x00%s\x00", filename)
+	fmt.Fprintf(h, "src[%d]\x00", len(src))
+	h.Write(src)
+	fmt.Fprintf(h, "\x00schemes[%d]\x00", len(schemes))
+	for _, s := range schemes {
+		fmt.Fprintf(h, "%s\x00", s)
+	}
+	writeConfig(h, cfg)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
 func writeWorkload(h io.Writer, w *codegen.Workload) {
 	fmt.Fprintf(h, "workload\x00%s\x00depth=%d\x00", w.Name, w.Nest.Depth())
 	for _, ix := range w.Nest.Indexes {

@@ -168,3 +168,28 @@ func TestRequestKeyBranches(t *testing.T) {
 		t.Error("branchy extent not hashed")
 	}
 }
+
+// TestCompileKey: the compile address is deterministic and sensitive to
+// every input — source bytes, labeling filename, scheme selection (and its
+// order), and machine configuration — and lives in its own canon section so
+// it can never collide with a RequestKey.
+func TestCompileKey(t *testing.T) {
+	src := []byte("package p\nfunc f(a []int) {\n\tfor i := 1; i < 9; i++ {\n\t\ta[i] = a[i-1]\n\t}\n}\n")
+	schemes := []string{"process(X=8,improved)", "ref"}
+	base := CompileKey("k.go", src, schemes, canonCfg)
+	if base != CompileKey("k.go", src, schemes, canonCfg) {
+		t.Error("identical compile requests hash differently")
+	}
+	variants := map[string]Key{
+		"source":       CompileKey("k.go", append([]byte(nil), append(src, ' ')...), schemes, canonCfg),
+		"filename":     CompileKey("other.go", src, schemes, canonCfg),
+		"schemes":      CompileKey("k.go", src, []string{"ref"}, canonCfg),
+		"scheme order": CompileKey("k.go", src, []string{"ref", "process(X=8,improved)"}, canonCfg),
+		"config":       CompileKey("k.go", src, schemes, func() sim.Config { c := canonCfg; c.Processors = 4; return c }()),
+	}
+	for what, k := range variants {
+		if k == base {
+			t.Errorf("changing %s did not change the compile key", what)
+		}
+	}
+}

@@ -43,7 +43,8 @@ func pipelineArcs(w *Workload) ([]deps.Arc, error) {
 	}
 	g := w.Nest.Analyze()
 	if unknown := g.UnknownArcs(); len(unknown) > 0 {
-		return nil, fmt.Errorf("%d dependences without constant distance", len(unknown))
+		return nil, fmt.Errorf("%d dependences without constant distance (%s)",
+			len(unknown), describeUnknown(unknown))
 	}
 	var arcs []deps.Arc
 	for _, a := range g.CrossArcs() {

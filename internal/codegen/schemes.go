@@ -2,6 +2,7 @@ package codegen
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/csrd-repro/datasync/internal/core"
 	"github.com/csrd-repro/datasync/internal/dataorient"
@@ -24,7 +25,8 @@ type depInfo struct {
 func analyzeWorkload(w *Workload) (depInfo, error) {
 	lin := w.Nest.LinearGraph()
 	if unknown := lin.UnknownArcs(); len(unknown) > 0 {
-		return depInfo{}, fmt.Errorf("%d dependences without constant distance; constant-distance schemes cannot enforce them", len(unknown))
+		return depInfo{}, fmt.Errorf("%d dependences without constant distance (%s); constant-distance schemes cannot enforce them",
+			len(unknown), describeUnknown(unknown))
 	}
 	// Covering elimination assumes every statement executes each iteration;
 	// with branches only deduplication is sound (a covering path through a
@@ -53,6 +55,22 @@ func analyzeWorkload(w *Workload) (depInfo, error) {
 		}
 	}
 	return di, nil
+}
+
+// describeUnknown summarizes unknown-distance arcs by their classified
+// reason, e.g. "1 coupled-subscripts, 2 gcd-inconclusive".
+func describeUnknown(arcs []deps.Arc) string {
+	counts := make(map[deps.UnknownReason]int)
+	for _, a := range arcs {
+		counts[a.Reason]++
+	}
+	var parts []string
+	for _, r := range []deps.UnknownReason{deps.ReasonCoupled, deps.ReasonSymbolic, deps.ReasonGCD} {
+		if n := counts[r]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, r))
+		}
+	}
+	return strings.Join(parts, ", ")
 }
 
 // maxSourceStep returns the highest step among sources inside the nodes

@@ -105,6 +105,58 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// UnknownReason classifies why an arc's distance could not be proven
+// constant — the boundary between the exact per-dimension solver and the
+// conservative fallbacks (the "data dependence problems are easy only in
+// restricted settings" point of Danicic et al.). ReasonExact marks arcs
+// whose distance was solved exactly (Known=true).
+type UnknownReason int
+
+// Unknown-distance reasons.
+const (
+	// ReasonExact: the distance is a proven compile-time constant.
+	ReasonExact UnknownReason = iota
+	// ReasonCoupled: one subscript dimension mixes several index variables
+	// (e.g. A[I+J]); the per-dimension solver cannot pin a unique distance.
+	ReasonCoupled
+	// ReasonSymbolic: an index variable appearing in the subscripts is left
+	// unconstrained by the pair, so a whole family of distances — bounded
+	// only by the (symbolic) iteration-space extent — can realize the
+	// conflict.
+	ReasonSymbolic
+	// ReasonGCD: the subscripts have non-uniform variable parts and the GCD
+	// test could not disprove an integer solution; a dependence at varying
+	// distances may or may not exist.
+	ReasonGCD
+)
+
+func (r UnknownReason) String() string {
+	switch r {
+	case ReasonExact:
+		return "exact"
+	case ReasonCoupled:
+		return "coupled-subscripts"
+	case ReasonSymbolic:
+		return "symbolic-distance"
+	case ReasonGCD:
+		return "gcd-inconclusive"
+	}
+	return fmt.Sprintf("UnknownReason(%d)", int(r))
+}
+
+// Explain renders the reason as a human-readable clause for diagnostics.
+func (r UnknownReason) Explain() string {
+	switch r {
+	case ReasonCoupled:
+		return "a subscript couples several loop indexes, so no unique distance exists"
+	case ReasonSymbolic:
+		return "an index variable is unconstrained by the subscript pair, leaving a family of distances"
+	case ReasonGCD:
+		return "the GCD test cannot disprove a dependence between the non-uniform subscripts"
+	}
+	return "distance is a compile-time constant"
+}
+
 // Arc is one dependence: the statement at index Src must complete (its
 // effect be visible) before the statement at index Dst executes, Dist
 // iterations later.
@@ -116,6 +168,12 @@ type Arc struct {
 	SrcRef   Ref     // the access in Src giving rise to the dependence
 	DstRef   Ref     // the access in Dst giving rise to the dependence
 
+	// Reason records why the distance is not constant (ReasonExact iff
+	// Known): the exact-vs-conservative boundary of the dependence test,
+	// surfaced so tools report *why* an arc is unenforceable instead of a
+	// bare "unknown".
+	Reason UnknownReason
+
 	// LoopIndep marks a zero-distance dependence within one iteration;
 	// these are enforced for free by sequential execution of the body.
 	LoopIndep bool
@@ -124,9 +182,10 @@ type Arc struct {
 // scalarDist returns the linearized distance for depth-1 graphs.
 func (a Arc) scalarDist() int64 { return a.Dist[0] }
 
-// String renders the arc as, e.g., "S1 -flow(2)-> S2".
+// String renders the arc as, e.g., "S1 -flow(2)-> S2"; unknown-distance
+// arcs carry their classification, e.g. "S1 -flow(?coupled-subscripts)-> S2".
 func (a Arc) format(stmts []*Stmt) string {
-	d := "?"
+	d := "?" + a.Reason.String()
 	if a.Known {
 		parts := make([]string, len(a.Dist))
 		for i, v := range a.Dist {
@@ -184,6 +243,15 @@ func testPair(ai, bi int, r1, r2 Ref, depth int) (Arc, bool) {
 	dist := make([]int64, depth)
 	determined := make([]bool, depth)
 	known := true
+	reason := ReasonExact
+	// conservative records the first (most specific) reason the distance
+	// could not be pinned; later dimensions do not override it.
+	conservative := func(r UnknownReason) {
+		known = false
+		if reason == ReasonExact {
+			reason = r
+		}
+	}
 	for d := range r1.Index {
 		e1, e2 := r1.Index[d], r2.Index[d]
 		// We need e1(i) == e2(i+Delta) for all i, i.e. identical variable
@@ -200,7 +268,7 @@ func testPair(ai, bi int, r1, r2 Ref, depth int) (Arc, bool) {
 			if gcdIndependent(e1, e2) {
 				return Arc{}, false
 			}
-			known = false
+			conservative(ReasonGCD)
 			continue
 		}
 		k, coef, ok := e2.SoleVar()
@@ -215,7 +283,7 @@ func testPair(ai, bi int, r1, r2 Ref, depth int) (Arc, bool) {
 			}
 			// More than one variable in the subscript (e.g. A[I+J]):
 			// the per-dimension solver cannot pin a unique distance.
-			known = false
+			conservative(ReasonCoupled)
 			continue
 		}
 		if diff%coef != 0 {
@@ -228,10 +296,16 @@ func testPair(ai, bi int, r1, r2 Ref, depth int) (Arc, bool) {
 		dist[k], determined[k] = v, true
 	}
 	if known {
-		// Variables never constrained leave a family of distances.
+		// Index variables the subscript pair leaves unconstrained realize
+		// the conflict at every distance along their axis — a family of
+		// distances, not a constant. This includes refs that ignore an
+		// index entirely (A[J] in an I/J nest, or the all-constant A[1]):
+		// two instances differing only in the free index still touch the
+		// same element, so assuming distance zero there would silently
+		// drop real cross-iteration dependences.
 		for k := 0; k < depth; k++ {
-			if !determined[k] && hasVar(r1, k) {
-				known = false
+			if !determined[k] {
+				conservative(ReasonSymbolic)
 			}
 		}
 	}
@@ -243,7 +317,7 @@ func testPair(ai, bi int, r1, r2 Ref, depth int) (Arc, bool) {
 		// (read, write) orientations of the statement's own refs already
 		// cover. Unknown arcs are reporting-only; the constant-distance
 		// schemes refuse loops that have them.
-		return Arc{Src: ai, Dst: bi, Kind: kind, Known: false, SrcRef: r1, DstRef: r2}, true
+		return Arc{Src: ai, Dst: bi, Kind: kind, Known: false, Reason: reason, SrcRef: r1, DstRef: r2}, true
 	}
 	switch lexSign(dist) {
 	case -1:
@@ -288,15 +362,6 @@ func gcdIndependent(e1, e2 expr.Affine) bool {
 	return diff%g != 0
 }
 
-func hasVar(r Ref, k int) bool {
-	for _, ix := range r.Index {
-		if ix.Coef[k] != 0 {
-			return true
-		}
-	}
-	return false
-}
-
 // lexSign returns the sign of the lexicographic comparison of v with zero.
 func lexSign(v []int64) int {
 	for _, x := range v {
@@ -329,7 +394,10 @@ func sortArcs(arcs []Arc) {
 				}
 			}
 		}
-		return a.Kind < b.Kind
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Reason < b.Reason
 	})
 }
 

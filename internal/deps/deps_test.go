@@ -442,3 +442,83 @@ func pathExactSum(arcs []Arc, nStmts, src, dst int, d int64) bool {
 	}
 	return dfs(src, d, 0)
 }
+
+// TestUnknownReasonClassification pins the classification of why an arc
+// lands in UnknownArcs: coupled subscripts, an unconstrained (symbolic)
+// index, and a GCD-inconclusive non-uniform pair each carry their reason.
+func TestUnknownReasonClassification(t *testing.T) {
+	cases := []struct {
+		name   string
+		w, r   expr.Affine
+		depth  int
+		reason UnknownReason
+	}{
+		// A[I+J] vs A[I+J-1]: one dimension couples two indexes.
+		{"coupled", expr.Index(2, 0, 0).Add(expr.Index(2, 1, 0)),
+			expr.Index(2, 0, -1).Add(expr.Index(2, 1, 0)), 2, ReasonCoupled},
+		// A[I] vs A[I-1] in an I/J nest: J is unconstrained, so the
+		// conflict realizes at (1, d2) for every d2 — a distance family.
+		{"symbolic", expr.Index(2, 0, 0), expr.Index(2, 0, -1), 2, ReasonSymbolic},
+		// A[I] write vs A[1] read: non-uniform variable parts; the GCD of
+		// the coefficients divides the constant difference, so the test
+		// cannot disprove a dependence.
+		{"gcd-const", expr.Index(1, 0, 0), expr.Const(1, 1), 1, ReasonGCD},
+		// A[2*I] vs A[I]: non-uniform coefficients, GCD cannot disprove.
+		{"gcd", expr.Scaled(1, 0, 2, 0), expr.Index(1, 0, 0), 1, ReasonGCD},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stmts := []*Stmt{
+				{Name: "S1", Writes: []Ref{{Array: "A", Index: []expr.Affine{tc.w}}}},
+				{Name: "S2", Reads: []Ref{{Array: "A", Index: []expr.Affine{tc.r}}}},
+			}
+			g := Analyze(stmts, tc.depth)
+			unknown := g.UnknownArcs()
+			if len(unknown) == 0 {
+				t.Fatalf("no unknown arcs:\n%s", g)
+			}
+			for _, a := range unknown {
+				if a.Reason != tc.reason {
+					t.Errorf("arc %s: reason = %s, want %s", a.format(stmts), a.Reason, tc.reason)
+				}
+				if a.Reason == ReasonExact {
+					t.Errorf("unknown arc carries ReasonExact")
+				}
+			}
+			for _, a := range g.CrossArcs() {
+				if a.Reason != ReasonExact {
+					t.Errorf("known arc %s carries reason %s", a.format(stmts), a.Reason)
+				}
+			}
+		})
+	}
+}
+
+// TestIgnoredIndexIsConservative pins the fix for a soundness hole: a ref
+// that ignores an index variable entirely (A[J] in an I/J nest, or the
+// all-constant A[1]) conflicts with itself at every distance along the free
+// axis. The analysis must report that as an unknown-distance (symbolic)
+// dependence — never as independence or a loop-independent arc.
+func TestIgnoredIndexIsConservative(t *testing.T) {
+	refJ := Ref{Array: "A", Index: []expr.Affine{expr.Index(2, 1, 0)}}
+	stmts := []*Stmt{{Name: "S1", Writes: []Ref{refJ}, Reads: []Ref{refJ}}}
+	g := Analyze(stmts, 2)
+	if len(g.UnknownArcs()) == 0 {
+		t.Fatalf("A[J] self-update in an I/J nest reported no unknown arcs:\n%s", g)
+	}
+	for _, a := range g.UnknownArcs() {
+		if a.Reason != ReasonSymbolic {
+			t.Errorf("arc %s: reason = %s, want %s", a.format(stmts), a.Reason, ReasonSymbolic)
+		}
+	}
+	if n := len(g.CrossArcs()); n != 0 {
+		t.Errorf("CrossArcs = %d, want 0 (no constant distance exists)", n)
+	}
+
+	refC := Ref{Array: "A", Index: []expr.Affine{expr.Const(1, 1)}}
+	stmts = []*Stmt{{Name: "S1", Writes: []Ref{refC}, Reads: []Ref{refC}}}
+	g = Analyze(stmts, 1)
+	if len(g.UnknownArcs()) == 0 {
+		t.Fatalf("A[1] self-update reported no unknown arcs:\n%s", g)
+	}
+}

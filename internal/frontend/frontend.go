@@ -1,0 +1,210 @@
+// Package frontend lowers a restricted subset of Go source into the
+// repository's loop intermediate representation, playing the role of the
+// concurrentizing compiler front end the paper assumes (section 5): it
+// recognizes canonical counted for-loop nests over integer slices, checks
+// every body construct for lowerability, and produces executable workloads
+// (loop.Nest + statement semantics) that the dependence analysis,
+// synchronization code generators, and verifier consume unchanged.
+//
+// The accepted subset mirrors exactly what the dependence analysis can
+// reason about:
+//
+//   - loop headers of the form `for i := lo; i < hi; i += s` (or `<=`,
+//     `i++`) with integer-constant bounds and a positive constant stride;
+//   - perfectly nested loops (a non-innermost body is exactly one for);
+//   - body statements that assign an array element or a loop-local scalar
+//     from an expression over integer literals, loop indices, loop-local
+//     scalars and array reads, using only +, - and *;
+//   - array subscripts that are affine in the loop indices;
+//   - two-armed conditionals on a loop index (`i%2 == 1`, `i <= 5`).
+//
+// Everything else is rejected with a structured Diagnostic carrying the
+// source position, a stable machine-readable code, and the offending
+// expression. Rejection is per loop nest: one bad statement rejects its
+// nest, not the whole file, so a file can yield both lowered loops and
+// diagnostics.
+//
+// Strides greater than one are normalized away: level k's iterations are
+// renumbered 0..count-1 and the (scale, offset) pair is folded into every
+// affine subscript and index-value expression, so the rest of the system
+// only ever sees step-1 nests. Stride-1 loops keep their original bounds,
+// which makes a Go function and its .do-file twin lower to byte-identical
+// canonical forms (see package cache).
+package frontend
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/scanner"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+
+	"github.com/csrd-repro/datasync/internal/codegen"
+)
+
+// Diagnostic codes. These are stable identifiers: tests pin them, the
+// /compile endpoint and dsgo emit them in JSON, and rejection fixtures
+// under testdata/go assert them. Add new codes rather than renaming.
+const (
+	// CodeSyntax: the file is not parseable Go.
+	CodeSyntax = "go-syntax"
+	// CodeType: the type checker could not type a construct the lowering
+	// depends on (inside a candidate nest).
+	CodeType = "type-error"
+	// CodeLoopHeader: the for statement is not of the canonical counted
+	// form `for i := lo; i < hi; i += s`.
+	CodeLoopHeader = "non-canonical-loop"
+	// CodeSymbolicBound: a loop bound or stride is not an integer constant.
+	CodeSymbolicBound = "symbolic-bound"
+	// CodeEmptyRange: the loop provably executes zero iterations.
+	CodeEmptyRange = "empty-range"
+	// CodeEmptyBody: the innermost loop body has no statements.
+	CodeEmptyBody = "empty-body"
+	// CodeImperfectNest: an inner loop appears alongside other statements.
+	CodeImperfectNest = "imperfect-nest"
+	// CodeStmt: a body statement kind outside the lowerable subset.
+	CodeStmt = "unsupported-statement"
+	// CodeExpr: an expression form outside the lowerable subset.
+	CodeExpr = "unsupported-expression"
+	// CodeCall: a function call (including conversions) in the body.
+	CodeCall = "call-expression"
+	// CodeEscape: a reference to a scalar declared outside the nest; its
+	// value cannot be modeled by the iteration-local semantics.
+	CodeEscape = "escaping-reference"
+	// CodeCondition: an if condition outside the supported index forms.
+	CodeCondition = "unsupported-condition"
+	// CodeIndexAssign: the body writes a loop index variable.
+	CodeIndexAssign = "loop-index-assignment"
+	// CodeNonAffine: an array subscript that is not affine in the indices.
+	CodeNonAffine = "non-affine-subscript"
+	// CodeDims: an array reference with more than two subscripts, or an
+	// indexing depth that does not match the array's type.
+	CodeDims = "subscript-dims"
+	// CodeNonInteger: an array whose element type is not int or int64.
+	CodeNonInteger = "non-integer-element"
+	// CodeArrayShape: one array used with inconsistent dimensionality, or
+	// two distinct arrays whose names collide case-insensitively.
+	CodeArrayShape = "array-shape-mismatch"
+)
+
+// Position is a source location. It is a trimmed token.Position with
+// stable JSON field names for the service and CLI outputs.
+type Position struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+func (p Position) String() string {
+	if p.Line == 0 {
+		return p.File
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Diagnostic is one structured rejection: where, why (a stable code plus a
+// human-readable message), and the offending source expression when one
+// exists.
+type Diagnostic struct {
+	Pos     Position `json:"pos"`
+	Code    string   `json:"code"`
+	Message string   `json:"message"`
+	// Expr is the offending expression or statement, rendered from the AST.
+	Expr string `json:"expr,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s: [%s] %s", d.Pos, d.Code, d.Message)
+	if d.Expr != "" {
+		s += fmt.Sprintf(" (in `%s`)", d.Expr)
+	}
+	return s
+}
+
+// Error makes a Diagnostic usable as an error value.
+func (d Diagnostic) Error() string { return d.String() }
+
+// Loop is one accepted, fully lowered loop nest.
+type Loop struct {
+	// Func is the enclosing Go function's name; it becomes the workload
+	// name (a function named dsl twins lang.Parse output exactly).
+	Func string `json:"func"`
+	// Pos is the position of the nest's outermost for statement.
+	Pos Position `json:"pos"`
+	// Workload is the executable lowered form.
+	Workload *codegen.Workload `json:"-"`
+}
+
+// Result is the outcome of lowering one file: the accepted nests and a
+// diagnostic per rejected candidate. Both can be non-empty at once.
+type Result struct {
+	Loops    []*Loop      `json:"loops"`
+	Rejected []Diagnostic `json:"rejected"`
+}
+
+// LowerFile reads and lowers a Go source file. The returned error covers
+// only I/O; analysis failures are reported in Result.Rejected.
+func LowerFile(path string) (*Result, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(filepath.Base(path), src), nil
+}
+
+// Lower parses, type-checks and lowers Go source. Every top-level for
+// statement in every function body is a candidate nest; each candidate
+// either becomes a Loop or contributes one Diagnostic. Lower never panics
+// on any input (the FuzzLowerGo fuzzer enforces this).
+func Lower(filename string, src []byte) *Result {
+	res := &Result{}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		res.Rejected = append(res.Rejected, syntaxDiag(filename, err))
+		return res
+	}
+
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	// Soft type checking: collect errors and keep going. A file with no
+	// imports and ordinary code type-checks fully; errors that land inside
+	// a candidate nest reject that nest, errors elsewhere (scaffolding,
+	// unresolvable imports under the nil importer) are ignored.
+	var typeErrs []types.Error
+	conf := types.Config{Error: func(err error) {
+		if te, ok := err.(types.Error); ok {
+			typeErrs = append(typeErrs, te)
+		}
+	}}
+	_, _ = conf.Check(file.Name.Name, fset, []*ast.File{file}, info)
+
+	lw := &lowerer{fset: fset, info: info, typeErrs: typeErrs}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if ok && fn.Body != nil {
+			lw.lowerFunc(res, fn)
+		}
+	}
+	return res
+}
+
+// syntaxDiag converts a parse failure into a positioned diagnostic (the
+// first error of the list; the rest are usually cascades).
+func syntaxDiag(filename string, err error) Diagnostic {
+	if el, ok := err.(scanner.ErrorList); ok && len(el) > 0 {
+		e := el[0]
+		return Diagnostic{
+			Pos:     Position{File: e.Pos.Filename, Line: e.Pos.Line, Col: e.Pos.Column},
+			Code:    CodeSyntax,
+			Message: e.Msg,
+		}
+	}
+	return Diagnostic{Pos: Position{File: filename}, Code: CodeSyntax, Message: err.Error()}
+}

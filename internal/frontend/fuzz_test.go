@@ -1,0 +1,87 @@
+package frontend
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/csrd-repro/datasync/internal/codegen"
+	"github.com/csrd-repro/datasync/internal/sim"
+)
+
+// FuzzLowerGo feeds arbitrary source through the whole pipeline. The
+// invariants: Lower never panics on any input, every accepted (small)
+// workload runs on a checked machine configuration, and no accepted
+// workload ever violates serial equivalence — a scheme is allowed to
+// refuse a loop (unknown arcs, non-forward distances), but if it
+// instruments one, the synchronization must be sufficient.
+func FuzzLowerGo(f *testing.F) {
+	files, _ := filepath.Glob(filepath.Join(corpusDir, "*.go"))
+	for _, fn := range files {
+		if src, err := os.ReadFile(fn); err == nil {
+			f.Add(string(src))
+		}
+	}
+	f.Add("package p\nfunc f(a []int) {\n\tfor i := 1; i < 6; i++ {\n\t\ta[2*i] = a[i] + 1\n\t}\n}")
+	f.Add("package p\nfunc f(a []int) {\n\tfor i := 0; i < 9; i += 3 {\n\t\tif i%2 == 0 {\n\t\t\ta[i]++\n\t\t}\n\t}\n}")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		res := Lower("fuzz.go", []byte(src))
+		for _, lp := range res.Loops {
+			w := lp.Workload
+			if w.Nest.Iterations() > 2_000 || hugeFootprint(w) {
+				continue
+			}
+			cfg := sim.Config{Processors: 2, BusLatency: 1, MemLatency: 1, Modules: 2,
+				SyncOpCost: 1, SchedOverhead: 1, MaxCycles: 1_000_000}
+			if err := cfg.Check(); err != nil {
+				t.Fatalf("lowered workload rejected by sim.Config.Check: %v", err)
+			}
+			_, err := codegen.Run(w, codegen.ProcessOriented{X: 2, Improved: true}, cfg)
+			if err != nil && strings.Contains(err.Error(), "serial equivalence") {
+				t.Fatalf("accepted loop violates serial equivalence: %v\nsource:\n%s", err, src)
+			}
+		}
+	})
+}
+
+// hugeFootprint skips inputs whose affine subscripts reach far enough to
+// allocate unreasonable arrays (the bounds come from the corner vectors,
+// the same extrema lang.DefaultSetup uses).
+func hugeFootprint(w *codegen.Workload) bool {
+	const limit = 100_000
+	corners := make([][]int64, 0, 1<<w.Nest.Depth())
+	for mask := 0; mask < 1<<w.Nest.Depth(); mask++ {
+		idx := make([]int64, w.Nest.Depth())
+		for k, ix := range w.Nest.Indexes {
+			if mask&(1<<k) != 0 {
+				idx[k] = ix.Hi
+			} else {
+				idx[k] = ix.Lo
+			}
+		}
+		corners = append(corners, idx)
+	}
+	for _, s := range w.Nest.Stmts() {
+		for _, r := range s.Writes {
+			for _, sub := range r.Index {
+				for _, c := range corners {
+					if v := sub.Eval(c); v > limit || v < -limit {
+						return true
+					}
+				}
+			}
+		}
+		for _, r := range s.Reads {
+			for _, sub := range r.Index {
+				for _, c := range corners {
+					if v := sub.Eval(c); v > limit || v < -limit {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

@@ -148,7 +148,7 @@ func Parse(src string) (*codegen.Workload, error) {
 		return nil, err
 	}
 	w := &codegen.Workload{Name: "dsl", Nest: nest, Sem: p.sem}
-	w.Setup = setupFor(nest)
+	w.Setup = DefaultSetup(nest)
 	return w, nil
 }
 
@@ -544,11 +544,12 @@ func (p *parser) parseFactor(st *deps.Stmt) (exprNode, error) {
 	}
 }
 
-// setupFor builds a Setup that declares every referenced array with bounds
-// inferred from the subscripts over the iteration space (affine subscripts
-// reach their extrema at the corner index vectors), initialized
-// deterministically from name and coordinates.
-func setupFor(n *loop.Nest) func(mem *sim.Mem) {
+// DefaultSetup builds a Setup that declares every referenced array with
+// bounds inferred from the subscripts over the iteration space (affine
+// subscripts reach their extrema at the corner index vectors), initialized
+// deterministically from name and coordinates. It is shared with the Go
+// frontend so a .do program and its Go-source twin see identical inputs.
+func DefaultSetup(n *loop.Nest) func(mem *sim.Mem) {
 	type bounds struct {
 		dims     int
 		min, max [2]int64

@@ -129,6 +129,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("POST /verify", s.handleVerify)
 	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.logged(mux)

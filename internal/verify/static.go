@@ -511,9 +511,10 @@ func (c *checker) checkArcs() {
 	for _, a := range g.UnknownArcs() {
 		c.addHard(fmt.Sprintf("unk|%d|%d", a.Src, a.Dst), Finding{
 			Class: Unanalyzable,
-			Arc:   fmt.Sprintf("%s -%s(?)-> %s", stmts[a.Src].Name, a.Kind, stmts[a.Dst].Name),
-			Summary: fmt.Sprintf("arc %s -%s-> %s has no compile-time distance and cannot be statically verified",
-				stmts[a.Src].Name, a.Kind, stmts[a.Dst].Name),
+			Arc:   fmt.Sprintf("%s -%s(?%s)-> %s", stmts[a.Src].Name, a.Kind, a.Reason, stmts[a.Dst].Name),
+			Summary: fmt.Sprintf("arc %s -%s-> %s has no compile-time distance (%s) and cannot be statically verified",
+				stmts[a.Src].Name, a.Kind, stmts[a.Dst].Name, a.Reason),
+			Detail: a.Reason.Explain(),
 		})
 	}
 	seenCross := make(map[string]bool)

@@ -54,6 +54,28 @@ metrics=$(curl -fsS "$BASE/metrics")
 echo "$metrics" | grep -q 'dsserve_cache_hits_total 6' || {
   echo "expected 6 cache hits in /metrics:" >&2; echo "$metrics" >&2; exit 1; }
 
+# /compile: a Go loop nest lowered through the static frontend; the
+# identical repeat must come from the compile section of the cache, raising
+# the hit counter to 7.
+compile_body='{"filename":"kernel.go","source":"package p\nfunc kernel(a, b []int) {\n\tfor i := 1; i < 40; i++ {\n\t\ta[i] = a[i-1] + i\n\t\tb[i] = a[i] * 2\n\t}\n}\n","config":{"p":4}}'
+out=$(curl -fsS -X POST "$BASE/compile" -d "$compile_body")
+echo "$out" | grep -q '"cached": false' || { echo "unexpected /compile response: $out" >&2; exit 1; }
+echo "$out" | grep -q '"workload": "kernel"' || { echo "/compile missing lowered loop: $out" >&2; exit 1; }
+out=$(curl -fsS -X POST "$BASE/compile" -d "$compile_body")
+echo "$out" | grep -q '"cached": true' || { echo "/compile repeat not cached: $out" >&2; exit 1; }
+curl -fsS "$BASE/metrics" | grep -q 'dsserve_cache_hits_total 7' || {
+  echo "expected 7 cache hits after /compile repeat" >&2; exit 1; }
+
+# A non-affine loop is a 400 whose error field is a positioned diagnostic
+# with a stable reason code.
+bad_body='{"filename":"bad.go","source":"package p\nfunc f(a []int) {\n\tfor i := 1; i < 9; i++ {\n\t\ta[i*i] = i\n\t}\n}\n"}'
+resp=$(curl -s -w '\n%{http_code}' -X POST "$BASE/compile" -d "$bad_body")
+code=$(echo "$resp" | tail -n1)
+body=$(echo "$resp" | head -n -1)
+[ "$code" = "400" ] || { echo "non-affine compile gave $code, want 400: $body" >&2; exit 1; }
+echo "$body" | grep -q 'bad.go:4:' || { echo "diagnostic lacks position: $body" >&2; exit 1; }
+echo "$body" | grep -q 'non-affine-subscript' || { echo "diagnostic lacks reason code: $body" >&2; exit 1; }
+
 # /verify: static + dynamic verdict for a clean pair.
 curl -fsS -X POST "$BASE/verify" \
   -d '{"workload":{"name":"recurrence","n":30},"scheme":{"name":"ref"},"dynamic":true}' \

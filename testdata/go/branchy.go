@@ -1,0 +1,17 @@
+// Go-source twin of internal/lang/testdata/branchy.do (Example 3:
+// dependence sources inside branches). The function is named dsl so the
+// lowered workload is byte-identical to the parsed .do program under the
+// cache canon.
+package loops
+
+func dsl(a, b, c []int) {
+	for i := 1; i <= 50; i++ {
+		a[i+1] = i * 3
+		if i%2 == 1 {
+			b[i+2] = a[i] + 1000
+		} else {
+			b[i+2] = a[i] - 5
+		}
+		c[i] = b[i]
+	}
+}

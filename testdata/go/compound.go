@@ -1,0 +1,11 @@
+// Compound assignment and increment forms, desugared to plain assignments
+// during lowering (b[i] += x reads b[i] like b[i] = b[i] + x would).
+package loops
+
+func compound(a, b []int) {
+	for i := 1; i <= 30; i++ {
+		a[i] = a[i-1] + i
+		b[i] += a[i]
+		b[i]++
+	}
+}

@@ -1,0 +1,10 @@
+// REJECT call-expression line=6
+package loops
+
+func calls(a []int) {
+	for i := 1; i <= 9; i++ {
+		a[i] = helper(i)
+	}
+}
+
+func helper(v int) int { return v + 1 }

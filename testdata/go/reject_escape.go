@@ -1,0 +1,12 @@
+// REJECT escaping-reference line=9
+package loops
+
+// sum outlives the iterations, carrying a value across them that the
+// iteration-local statement semantics cannot model.
+func escape(a []int) int {
+	sum := 0
+	for i := 1; i <= 9; i++ {
+		sum += a[i]
+	}
+	return sum
+}

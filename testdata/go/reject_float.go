@@ -1,0 +1,8 @@
+// REJECT non-integer-element line=6
+package loops
+
+func floats(a []float64) {
+	for i := 1; i <= 9; i++ {
+		a[i] = 1
+	}
+}

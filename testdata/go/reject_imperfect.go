@@ -1,0 +1,11 @@
+// REJECT imperfect-nest line=7
+package loops
+
+func imperfect(a [][]int) {
+	for i := 1; i <= 4; i++ {
+		a[i][0] = i
+		for j := 1; j <= 4; j++ {
+			a[i][j] = a[i][j-1]
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// REJECT non-affine-subscript line=9
+package loops
+
+// The subscript i*j multiplies two loop indices, which is outside the
+// affine class the dependence tests can decide.
+func nonaffine(a [][]int) {
+	for i := 1; i <= 8; i++ {
+		for j := 1; j <= 8; j++ {
+			a[i][i*j] = j
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// REJECT symbolic-bound line=6
+package loops
+
+// The trip count depends on a runtime value; the IR needs constant bounds.
+func symbolic(a []int, n int) {
+	for i := 0; i < n; i++ {
+		a[i] = i
+	}
+}

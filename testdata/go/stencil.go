@@ -1,0 +1,10 @@
+// Example 1's four-point relaxation as a depth-2 nest over a grid.
+package loops
+
+func stencil(g [][]int) {
+	for i := 2; i <= 12; i++ {
+		for j := 2; j <= 12; j++ {
+			g[i][j] = g[i-1][j] + g[i][j-1]
+		}
+	}
+}

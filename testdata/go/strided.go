@@ -1,0 +1,9 @@
+// A stride-2 loop: the frontend renumbers iterations 0..19 and folds
+// i = 2*k into the subscripts, so A[i] vs A[i-2] becomes distance 1.
+package loops
+
+func strided(a []int) {
+	for i := 0; i < 40; i += 2 {
+		a[i] = a[i-2] + 3
+	}
+}

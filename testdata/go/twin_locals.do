@@ -1,0 +1,7 @@
+# Iteration-local scalar threading, twinned by twin_locals.go: the local t
+# carries A[I] between statements without becoming a dependence arc.
+DO I = 1, 40
+  S1: A[I+2] = I*10
+  S2: t = A[I] + 3
+  S3: B[I] = t*2
+END DO

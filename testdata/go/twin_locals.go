@@ -1,0 +1,11 @@
+// Go-source twin of twin_locals.do: an iteration-local scalar threads a
+// read between statements.
+package loops
+
+func dsl(a, b []int) {
+	for i := 1; i <= 40; i++ {
+		a[i+2] = i * 10
+		t := a[i] + 3
+		b[i] = t * 2
+	}
+}

@@ -1,0 +1,9 @@
+# Example 2 without cost annotations: the Go-source twin (twin_nested.go)
+# must lower byte-identically under the cache canon.
+DO I = 1, 10
+DO J = 1, 8
+  S1: A[I,J] = I*100 + J
+  S2: B[I,J] = A[I,J-1] + 1
+  S3: C[I,J] = B[I-1,J-1]*2
+END DO
+END DO

@@ -1,0 +1,13 @@
+// Go-source twin of twin_nested.do (Example 2's multiply-nested Doacross,
+// cost-free form).
+package loops
+
+func dsl(a, b, c [][]int) {
+	for i := 1; i <= 10; i++ {
+		for j := 1; j <= 8; j++ {
+			a[i][j] = i*100 + j
+			b[i][j] = a[i][j-1] + 1
+			c[i][j] = b[i-1][j-1] * 2
+		}
+	}
+}
