@@ -12,6 +12,12 @@
 // must leave the breaker closed with the recovery counters visible in
 // /metrics.
 //
+// With -cluster it boots a 3-node in-process cluster (no external server
+// needed) and probes the peer protocol: cross-node cache hits through
+// forwarding, a node killed mid-/sweep healed by work stealing with the
+// merged Pareto front checked against a single-node oracle, and a hot
+// tenant shed by admission without opening the circuit breaker.
+//
 // Exit status 0 means the probed cycle was observed; any deviation is one
 // line on stderr and exit 1. The smoke script runs both modes against a
 // short-cooldown server.
@@ -40,11 +46,16 @@ func main() {
 	cooldown := flag.Duration("cooldown", 2*time.Second, "server's -breaker-cooldown, waited out before the recovery check")
 	timeout := flag.Duration("timeout", 60*time.Second, "overall probe budget")
 	halt := flag.Bool("halt", false, "probe the self-healing path (halt -> reclaim -> recovered success) instead of the breaker cycle")
+	clusterMode := flag.Bool("cluster", false, "probe an in-process 3-node cluster (forwarding, mid-sweep node loss, tenant shedding) instead of the breaker cycle")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	if *clusterMode {
+		probeCluster(ctx)
+		return
+	}
 	if *halt {
 		probeHalt(ctx, *addr)
 		return

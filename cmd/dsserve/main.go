@@ -5,9 +5,19 @@
 //
 //	dsserve -addr :8077 -workers 8 -queue 128
 //
-// Liveness is at GET /healthz, Prometheus-style metrics at GET /metrics.
-// On SIGTERM or SIGINT the server stops accepting connections, drains
-// queued and in-flight jobs, and exits 0.
+// Several dsserve processes form one logical service when started with a
+// shared membership: each canonical result key has one owning node (via a
+// deterministic consistent-hash ring), any node accepts any request and
+// forwards it to the owner, and sweeps fan out cluster-wide with work
+// stealing:
+//
+//	dsserve -addr :8077 -node-id a -advertise http://10.0.0.1:8077 \
+//	        -peers b=http://10.0.0.2:8077,c=http://10.0.0.3:8077*2 \
+//	        -peer-token secret
+//
+// Liveness is at GET /healthz (including the node's cluster view),
+// Prometheus-style metrics at GET /metrics. On SIGTERM or SIGINT the server
+// stops accepting connections, drains queued and in-flight jobs, and exits 0.
 package main
 
 import (
@@ -18,9 +28,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/csrd-repro/datasync/internal/cluster"
 	"github.com/csrd-repro/datasync/internal/service"
 )
 
@@ -34,10 +46,46 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive stall-class failures that open the circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open trial")
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "shutdown budget for draining in-flight jobs")
+
+	nodeID := flag.String("node-id", "solo", "this node's stable cluster identity")
+	advertise := flag.String("advertise", "", "base URL peers reach this node at (default http://127.0.0.1<addr>)")
+	peersSpec := flag.String("peers", "", "other cluster members as id=addr[*weight],... (empty: single-node)")
+	peerToken := flag.String("peer-token", "", "shared secret authenticating peer-forwarded requests")
+	nodeWeight := flag.Int("node-weight", 1, "this node's share of the key space relative to weight-1 peers")
+	stealChunk := flag.Int("steal-chunk", 16, "max sweep points per work-stealing sub-grid")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant sustained request rate in req/s (0: no rate limit)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant burst capacity (default ceil(rate))")
+	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant in-flight request cap (0: no cap)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	srv := service.NewServer(service.Options{
+
+	self := cluster.Member{ID: *nodeID, Addr: *advertise, Weight: *nodeWeight}
+	if self.Addr == "" {
+		a := *addr
+		if strings.HasPrefix(a, ":") {
+			a = "127.0.0.1" + a
+		}
+		self.Addr = "http://" + a
+	}
+	peers, err := cluster.ParsePeers(*peersSpec)
+	if err != nil {
+		service.Fatal(os.Stderr, "dsserve", err)
+		os.Exit(2)
+	}
+
+	node, err := cluster.New(cluster.Options{
+		Self:       self.ID,
+		Members:    append(peers, self),
+		PeerToken:  *peerToken,
+		StealChunk: *stealChunk,
+		Tenant: cluster.TenantPolicy{
+			Rate:        *tenantRate,
+			Burst:       *tenantBurst,
+			MaxInFlight: *tenantInflight,
+		},
+		Logger: log,
+	}, service.Options{
 		Workers:          *workers,
 		QueueCap:         *queue,
 		JobTimeout:       *timeout,
@@ -47,9 +95,14 @@ func main() {
 		BreakerCooldown:  *breakerCooldown,
 		Logger:           log,
 	})
+	if err != nil {
+		service.Fatal(os.Stderr, "dsserve", err)
+		os.Exit(2)
+	}
+	srv := node.Server()
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           node.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -58,7 +111,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Info("dsserve listening", "addr", *addr, "workers", *workers, "queue", *queue)
+		log.Info("dsserve listening", "addr", *addr, "workers", *workers, "queue", *queue,
+			"node", self.ID, "ringVersion", node.Ring().Version(), "members", node.Ring().Size())
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -11,6 +11,7 @@ package cache
 
 import (
 	"container/list"
+	"encoding/binary"
 	"encoding/hex"
 	"sync"
 )
@@ -20,6 +21,13 @@ type Key [32]byte
 
 // String renders the key as lowercase hex.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Ring returns the key's coordinate on a 64-bit consistent-hash ring: the
+// first 8 bytes of the SHA-256 content address, big-endian. The canonical
+// hash is uniform over the key space, so the prefix is a uniform ring
+// position — the property that makes the content-addressed cache an exact
+// sharding unit for the cluster layer.
+func (k Key) Ring() uint64 { return binary.BigEndian.Uint64(k[:8]) }
 
 // Stats is a snapshot of cache effectiveness counters.
 type Stats struct {

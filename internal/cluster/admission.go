@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the bucket for requests that carry no tenant header.
+const DefaultTenant = "anon"
+
+// maxTenants bounds the admission table: a hostile client minting a fresh
+// tenant name per request must not grow node memory without bound. Past
+// the cap, idle full-bucket tenants are evicted first; if every tenant is
+// active, new names share the overflow bucket.
+const maxTenants = 4096
+
+// overflowTenant absorbs tenants past the table cap, so cardinality abuse
+// degrades into shared (stricter) limiting instead of memory growth.
+const overflowTenant = "~overflow"
+
+// TenantPolicy is the per-tenant admission policy: a token bucket over
+// request arrivals plus an in-flight quota. The zero value disables
+// admission entirely.
+type TenantPolicy struct {
+	// Rate is the sustained request rate per tenant in requests/second;
+	// <= 0 disables rate limiting.
+	Rate float64
+	// Burst is the token bucket capacity (instantaneous burst headroom).
+	// Defaults to ceil(Rate), minimum 1, when Rate is set.
+	Burst int
+	// MaxInFlight caps a tenant's concurrently admitted requests;
+	// <= 0 disables the quota.
+	MaxInFlight int
+}
+
+// Enabled reports whether any limit is configured.
+func (p TenantPolicy) Enabled() bool { return p.Rate > 0 || p.MaxInFlight > 0 }
+
+func (p TenantPolicy) burst() float64 {
+	if p.Burst > 0 {
+		return float64(p.Burst)
+	}
+	return math.Max(1, math.Ceil(p.Rate))
+}
+
+// tenantState is one tenant's bucket.
+type tenantState struct {
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+// Admission enforces a TenantPolicy per tenant. It sits in front of the
+// whole node — cache, breaker and pool — so a hot tenant is shed with 429s
+// while the stall-class circuit breaker (which tracks service health, not
+// tenant behaviour) stays closed for everyone else.
+type Admission struct {
+	pol TenantPolicy
+	now func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+	sheds   map[string]int64
+}
+
+// NewAdmission builds an Admission for the policy (nil-safe to use when
+// the policy is disabled: every request is admitted).
+func NewAdmission(pol TenantPolicy) *Admission {
+	return &Admission{
+		pol:     pol,
+		now:     time.Now,
+		tenants: make(map[string]*tenantState),
+		sheds:   make(map[string]int64),
+	}
+}
+
+// Admit charges one request to the tenant's bucket. When admitted, release
+// must be called exactly once as the request finishes (it returns the
+// in-flight slot). When shed, retryAfter estimates the wait until a token
+// accrues, for the 429's Retry-After header.
+func (a *Admission) Admit(tenant string) (release func(), retryAfter time.Duration, ok bool) {
+	if a == nil || !a.pol.Enabled() {
+		return func() {}, 0, true
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	ts := a.tenants[tenant]
+	if ts == nil {
+		if len(a.tenants) >= maxTenants && !a.evictIdleLocked() {
+			tenant = overflowTenant
+			ts = a.tenants[tenant]
+		}
+		if ts == nil {
+			ts = &tenantState{tokens: a.pol.burst(), last: a.now()}
+			a.tenants[tenant] = ts
+		}
+	}
+
+	now := a.now()
+	if a.pol.Rate > 0 {
+		ts.tokens = math.Min(a.pol.burst(), ts.tokens+now.Sub(ts.last).Seconds()*a.pol.Rate)
+	}
+	ts.last = now
+
+	if a.pol.MaxInFlight > 0 && ts.inflight >= a.pol.MaxInFlight {
+		a.sheds[tenant]++
+		return nil, time.Second, false
+	}
+	if a.pol.Rate > 0 {
+		if ts.tokens < 1 {
+			a.sheds[tenant]++
+			wait := time.Duration((1 - ts.tokens) / a.pol.Rate * float64(time.Second))
+			// Ceil to a whole second so the header never renders 0.
+			return nil, ((wait-1)/time.Second + 1) * time.Second, false
+		}
+		ts.tokens--
+	}
+
+	ts.inflight++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			ts.inflight--
+			a.mu.Unlock()
+		})
+	}, 0, true
+}
+
+// evictIdleLocked drops one tenant with a full bucket and nothing in
+// flight — state indistinguishable from a fresh entry, so eviction cannot
+// grant anyone extra budget. Reports whether a slot was freed.
+func (a *Admission) evictIdleLocked() bool {
+	now := a.now()
+	for name, ts := range a.tenants {
+		tokens := ts.tokens
+		if a.pol.Rate > 0 {
+			tokens = math.Min(a.pol.burst(), tokens+now.Sub(ts.last).Seconds()*a.pol.Rate)
+		}
+		if ts.inflight == 0 && (a.pol.Rate <= 0 || tokens >= a.pol.burst()) {
+			delete(a.tenants, name)
+			return true
+		}
+	}
+	return false
+}
+
+// Sheds snapshots the per-tenant shed counters, sorted by tenant name.
+func (a *Admission) Sheds() []TenantSheds {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]TenantSheds, 0, len(a.sheds))
+	for name, n := range a.sheds {
+		out = append(out, TenantSheds{Tenant: name, Shed: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// TenantSheds is one tenant's shed count.
+type TenantSheds struct {
+	Tenant string
+	Shed   int64
+}

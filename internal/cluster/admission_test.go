@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for admission tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time                 { return c.t }
+func (c *fakeClock) advance(d time.Duration)        { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                      { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func testAdmission(pol TenantPolicy) (*Admission, *fakeClock) {
+	a := NewAdmission(pol)
+	clk := newFakeClock()
+	a.now = clk.now
+	return a, clk
+}
+
+// TestAdmissionTokenBucket: a tenant burns its burst, is shed with a
+// whole-second Retry-After, and earns tokens back at Rate as time passes.
+func TestAdmissionTokenBucket(t *testing.T) {
+	a, clk := testAdmission(TenantPolicy{Rate: 2, Burst: 2})
+
+	for i := 0; i < 2; i++ {
+		release, _, ok := a.Admit("hot")
+		if !ok {
+			t.Fatalf("request %d within burst was shed", i)
+		}
+		release()
+	}
+	_, retryAfter, ok := a.Admit("hot")
+	if ok {
+		t.Fatal("request over burst was admitted")
+	}
+	if retryAfter < time.Second || retryAfter%time.Second != 0 {
+		t.Errorf("retryAfter = %v, want a whole positive number of seconds", retryAfter)
+	}
+
+	// Rate 2/s: half a second accrues one token.
+	clk.advance(500 * time.Millisecond)
+	if release, _, ok := a.Admit("hot"); !ok {
+		t.Fatal("request after token accrual was shed")
+	} else {
+		release()
+	}
+
+	// An unrelated tenant has its own untouched bucket.
+	if release, _, ok := a.Admit("cool"); !ok {
+		t.Fatal("fresh tenant was shed by another tenant's exhaustion")
+	} else {
+		release()
+	}
+
+	sheds := a.Sheds()
+	if len(sheds) != 1 || sheds[0].Tenant != "hot" || sheds[0].Shed != 1 {
+		t.Errorf("sheds = %+v, want exactly one shed for tenant hot", sheds)
+	}
+}
+
+// TestAdmissionInFlight: the in-flight quota sheds concurrent excess and
+// recovers as releases come back; release is idempotent.
+func TestAdmissionInFlight(t *testing.T) {
+	a, _ := testAdmission(TenantPolicy{MaxInFlight: 2})
+
+	r1, _, ok1 := a.Admit("t")
+	r2, _, ok2 := a.Admit("t")
+	if !ok1 || !ok2 {
+		t.Fatal("requests within the in-flight quota were shed")
+	}
+	if _, retryAfter, ok := a.Admit("t"); ok || retryAfter <= 0 {
+		t.Fatalf("third concurrent request: ok=%v retryAfter=%v, want shed with positive Retry-After", ok, retryAfter)
+	}
+	r1()
+	r1() // double release must not free a second slot
+	if r3, _, ok := a.Admit("t"); !ok {
+		t.Fatal("request after release was shed")
+	} else {
+		defer r3()
+	}
+	if _, _, ok := a.Admit("t"); ok {
+		t.Fatal("double release freed two slots")
+	}
+	r2()
+}
+
+// TestAdmissionDisabled: a zero policy (and a nil Admission) admits
+// everything — single-node deployments pay nothing.
+func TestAdmissionDisabled(t *testing.T) {
+	a, _ := testAdmission(TenantPolicy{})
+	for i := 0; i < 100; i++ {
+		release, _, ok := a.Admit("any")
+		if !ok {
+			t.Fatal("disabled policy shed a request")
+		}
+		release()
+	}
+	var nilA *Admission
+	if release, _, ok := nilA.Admit("any"); !ok {
+		t.Fatal("nil Admission shed a request")
+	} else {
+		release()
+	}
+}
+
+// TestAdmissionDefaultTenant: requests without a tenant share one bucket.
+func TestAdmissionDefaultTenant(t *testing.T) {
+	a, _ := testAdmission(TenantPolicy{Rate: 1, Burst: 1})
+	release, _, ok := a.Admit("")
+	if !ok {
+		t.Fatal("first anonymous request shed")
+	}
+	release()
+	if _, _, ok := a.Admit(""); ok {
+		t.Fatal("anonymous requests do not share the default bucket")
+	}
+	if sheds := a.Sheds(); len(sheds) != 1 || sheds[0].Tenant != DefaultTenant {
+		t.Errorf("sheds = %+v, want one shed under %q", sheds, DefaultTenant)
+	}
+}
+
+// TestAdmissionCardinalityBound: a client minting a fresh tenant name per
+// request cannot grow the table past maxTenants — once every slot is held by
+// an active tenant, new names degrade into the shared overflow bucket.
+func TestAdmissionCardinalityBound(t *testing.T) {
+	a, _ := testAdmission(TenantPolicy{MaxInFlight: 1})
+
+	// Fill the table with active (in-flight, unevictable) tenants.
+	releases := make([]func(), 0, maxTenants)
+	for i := 0; i < maxTenants; i++ {
+		release, _, ok := a.Admit(fmt.Sprintf("tenant-%d", i))
+		if !ok {
+			t.Fatalf("tenant %d shed while filling the table", i)
+		}
+		releases = append(releases, release)
+	}
+	if got := len(a.tenants); got != maxTenants {
+		t.Fatalf("table holds %d tenants, want %d", got, maxTenants)
+	}
+
+	// A fresh name lands in the overflow bucket, which then limits the next
+	// fresh name too — shared, stricter limiting instead of memory growth.
+	release, _, ok := a.Admit("fresh-1")
+	if !ok {
+		t.Fatal("first overflow request shed")
+	}
+	defer release()
+	if _, _, ok := a.Admit("fresh-2"); ok {
+		t.Fatal("distinct overflow tenants did not share the overflow bucket's quota")
+	}
+	if got := len(a.tenants); got > maxTenants+1 {
+		t.Errorf("table grew to %d tenants, bound is %d + overflow", got, maxTenants)
+	}
+
+	// Once a tenant goes idle its slot is reclaimable for a new name.
+	for _, r := range releases {
+		r()
+	}
+	if release, _, ok := a.Admit("brand-new"); !ok {
+		t.Fatal("new tenant shed even though idle slots were reclaimable")
+	} else {
+		release()
+	}
+}

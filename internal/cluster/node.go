@@ -1,0 +1,392 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/cache"
+	"github.com/csrd-repro/datasync/internal/service"
+)
+
+// Peer-protocol headers.
+const (
+	// HeaderForwarded marks a request already routed by a peer: the
+	// receiver must serve it locally, never re-forward — one hop, no loops,
+	// even when two nodes momentarily disagree on membership.
+	HeaderForwarded = "X-DSServe-Forwarded"
+	// HeaderNode attributes a peer request to the sending node, and every
+	// response to the node that actually served it.
+	HeaderNode = "X-DSServe-Node"
+	// HeaderPeerToken authenticates peer traffic: forwarded requests must
+	// present the shared token (when one is configured), which also stops
+	// users from spoofing the forwarded flag to bypass tenant admission.
+	HeaderPeerToken = "X-DSServe-Peer-Token"
+	// HeaderTenant names the tenant a request is charged to; absent means
+	// DefaultTenant. Forwards propagate it for attribution, but admission
+	// is charged once, at the edge node the user hit.
+	HeaderTenant = "X-DSServe-Tenant"
+)
+
+// Options configures a cluster node.
+type Options struct {
+	// Self is this node's member ID; it must appear in Members.
+	Self string
+	// Members is the full cluster membership, including self. A single
+	// entry (or empty, defaulting to just self) is a valid cluster of one.
+	Members []Member
+	// PeerToken is the shared secret authenticating peer traffic; empty
+	// disables peer auth (single-node or trusted-network deployments).
+	PeerToken string
+	// Tenant is the per-tenant admission policy (zero value: disabled).
+	Tenant TenantPolicy
+	// StealChunk caps the points per dispatched sweep sub-grid (default
+	// 16). Smaller chunks give work-stealing finer granularity; larger
+	// ones amortize dispatch overhead.
+	StealChunk int
+	// PeerAttempts/PeerBaseDelay/PeerMaxDelay tune the retrying peer
+	// clients (defaults 3 / 50ms / 1s). Attempts are deliberately fewer
+	// than a user-facing client's: an unreachable peer should be declared
+	// dead and healed around quickly.
+	PeerAttempts  int
+	PeerBaseDelay time.Duration
+	PeerMaxDelay  time.Duration
+	// Logger receives peer-event logs (default slog.Default).
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Self == "" {
+		o.Self = "solo"
+	}
+	if len(o.Members) == 0 {
+		o.Members = []Member{{ID: o.Self, Addr: "http://127.0.0.1:0"}}
+	}
+	if o.StealChunk <= 0 {
+		o.StealChunk = 16
+	}
+	if o.PeerAttempts <= 0 {
+		o.PeerAttempts = 3
+	}
+	if o.PeerBaseDelay <= 0 {
+		o.PeerBaseDelay = 50 * time.Millisecond
+	}
+	if o.PeerMaxDelay <= 0 {
+		o.PeerMaxDelay = time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Node is one member of the logical service: a service.Server wrapped with
+// consistent-hash routing, peer forwarding, work-stealing sweep dispatch
+// and per-tenant admission.
+type Node struct {
+	opts    Options
+	self    Member
+	srv     *service.Server
+	adm     *Admission
+	ring    atomic.Pointer[Ring]
+	clients map[string]*service.Client // peer clients by member ID (not self)
+	log     *slog.Logger
+
+	forwards   atomic.Int64 // requests forwarded to their owning peer
+	steals     atomic.Int64 // sweep sub-grids executed by a non-owner node
+	peerErrors atomic.Int64 // peer calls that exhausted their retries
+}
+
+// New builds the node and its underlying service.Server (whose /healthz
+// and /metrics are extended with cluster state via the service hooks).
+func New(opts Options, srvOpts service.Options) (*Node, error) {
+	opts = opts.withDefaults()
+	ring, err := NewRing(opts.Members)
+	if err != nil {
+		return nil, err
+	}
+	self, ok := ring.Member(opts.Self)
+	if !ok {
+		return nil, fmt.Errorf("cluster: self ID %q is not in the membership", opts.Self)
+	}
+
+	n := &Node{
+		opts:    opts,
+		self:    self,
+		adm:     NewAdmission(opts.Tenant),
+		clients: make(map[string]*service.Client),
+		log:     opts.Logger,
+	}
+	n.ring.Store(ring)
+	for _, m := range ring.Members() {
+		if m.ID == self.ID {
+			continue
+		}
+		hdr := http.Header{}
+		hdr.Set(HeaderForwarded, "1")
+		hdr.Set(HeaderNode, self.ID)
+		if opts.PeerToken != "" {
+			hdr.Set(HeaderPeerToken, opts.PeerToken)
+		}
+		n.clients[m.ID] = &service.Client{
+			Base:        m.Addr,
+			MaxAttempts: opts.PeerAttempts,
+			BaseDelay:   opts.PeerBaseDelay,
+			MaxDelay:    opts.PeerMaxDelay,
+			Header:      hdr,
+		}
+	}
+
+	srvOpts.HealthInfo = n.healthInfo
+	srvOpts.MetricsAppend = n.metricsAppend
+	n.srv = service.NewServer(srvOpts)
+	return n, nil
+}
+
+// Server exposes the underlying service server (drain, breaker, tests).
+func (n *Node) Server() *service.Server { return n.srv }
+
+// Ring exposes the current membership view.
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// Admission exposes the tenant admission layer.
+func (n *Node) Admission() *Admission { return n.adm }
+
+// Counters snapshots the peer-protocol counters (forwards, steals, errors).
+func (n *Node) Counters() (forwards, steals, peerErrors int64) {
+	return n.forwards.Load(), n.steals.Load(), n.peerErrors.Load()
+}
+
+// MarkDead removes a member from this node's view of the ring (no-op for
+// self or the last member). The ring version changes, keys owned by the
+// dead node reassign to the survivors, and in-flight sweeps re-dispatch
+// its sub-grids — the cluster-scope analogue of PC ownership reclamation.
+func (n *Node) MarkDead(id string) {
+	if id == n.self.ID {
+		return
+	}
+	for {
+		cur := n.ring.Load()
+		if !cur.Has(id) {
+			return
+		}
+		next, err := cur.Without(id)
+		if err != nil {
+			return
+		}
+		if n.ring.CompareAndSwap(cur, next) {
+			n.log.Warn("cluster: peer marked dead", "peer", id, "ringVersion", next.Version(), "members", next.Size())
+			return
+		}
+	}
+}
+
+// Handler wraps the service handler with the peer middleware.
+func (n *Node) Handler() http.Handler {
+	return n.middleware(n.srv.Handler())
+}
+
+// maxBody mirrors the service's request cap; the router reads the body to
+// compute the canon key, then replays it into the inner handler.
+const maxBody = 1 << 20
+
+func (n *Node) middleware(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		forwarded := r.Header.Get(HeaderForwarded) != ""
+		if forwarded && n.opts.PeerToken != "" && r.Header.Get(HeaderPeerToken) != n.opts.PeerToken {
+			n.writeError(w, http.StatusForbidden, fmt.Errorf("cluster: invalid peer token"))
+			return
+		}
+		if r.Method != http.MethodPost {
+			// GET /healthz and /metrics answer locally on every node and
+			// bypass admission: monitoring must work while shedding.
+			w.Header().Set(HeaderNode, n.self.ID)
+			inner.ServeHTTP(w, r)
+			return
+		}
+
+		// Per-tenant admission, charged once at the edge: forwarded peer
+		// traffic was already admitted by the node the user actually hit.
+		if !forwarded {
+			release, retryAfter, ok := n.adm.Admit(r.Header.Get(HeaderTenant))
+			if !ok {
+				w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
+				n.writeError(w, http.StatusTooManyRequests,
+					fmt.Errorf("cluster: tenant over admission limits; retry later"))
+				return
+			}
+			defer release()
+		}
+
+		switch {
+		case !forwarded && r.URL.Path == "/sweep":
+			n.coordinateSweep(w, r, inner)
+		case !forwarded && (r.URL.Path == "/run" || r.URL.Path == "/verify" || r.URL.Path == "/compile"):
+			n.routeOrServe(w, r, inner)
+		default:
+			w.Header().Set(HeaderNode, n.self.ID)
+			inner.ServeHTTP(w, r)
+		}
+	})
+}
+
+// routeOrServe computes the request's canonical content address and serves
+// it locally when this node owns it, otherwise forwards it to the owner.
+// Requests whose key cannot be computed (malformed JSON, unknown workload)
+// fall through to the local handler, which owns the error vocabulary.
+func (n *Node) routeOrServe(w http.ResponseWriter, r *http.Request, inner http.Handler) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		n.writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: read request: %w", err))
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+
+	key, ok := requestKey(r.URL.Path, body)
+	if !ok {
+		n.serveLocal(w, r, inner)
+		return
+	}
+	owner := n.ring.Load().Owner(key)
+	if owner.ID == n.self.ID {
+		n.serveLocal(w, r, inner)
+		return
+	}
+	if done := n.forward(w, r, owner, body); done {
+		return
+	}
+	// The owner is unreachable: it has been removed from the ring and this
+	// node — a survivor the key may now map to — serves the request itself.
+	// Determinism makes that safe: any node computes the same bytes.
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	n.serveLocal(w, r, inner)
+}
+
+func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, inner http.Handler) {
+	w.Header().Set(HeaderNode, n.self.ID)
+	inner.ServeHTTP(w, r)
+}
+
+// requestKey computes the canonical content address for a routable POST
+// body. ok=false means the body does not decode into a keyable request —
+// the local handler will produce the authoritative error.
+func requestKey(path string, body []byte) (cache.Key, bool) {
+	switch path {
+	case "/run":
+		var req service.RunRequest
+		if err := strictUnmarshal(body, &req); err != nil {
+			return cache.Key{}, false
+		}
+		k, err := service.RunKey(req)
+		return k, err == nil
+	case "/verify":
+		var req service.VerifyRequest
+		if err := strictUnmarshal(body, &req); err != nil {
+			return cache.Key{}, false
+		}
+		k, err := service.VerifyKey(req)
+		return k, err == nil
+	case "/compile":
+		var req service.CompileRequest
+		if err := strictUnmarshal(body, &req); err != nil {
+			return cache.Key{}, false
+		}
+		k, err := service.CompileRequestKey(req)
+		return k, err == nil
+	}
+	return cache.Key{}, false
+}
+
+// strictUnmarshal mirrors the service's strict decoding so the router and
+// the handler agree on what constitutes a well-formed request.
+func strictUnmarshal(body []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// forward relays the request to its owning peer and the peer's answer —
+// whatever it is, a 200 as much as a 429 with Retry-After — back to the
+// caller. It reports false when the peer is unreachable after retries, in
+// which case the peer is marked dead and the caller serves locally.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, body []byte) bool {
+	cl := n.clients[owner.ID]
+	if cl == nil {
+		return false
+	}
+	fwd := *cl
+	if tenant := r.Header.Get(HeaderTenant); tenant != "" {
+		fwd.Header = fwd.Header.Clone()
+		fwd.Header.Set(HeaderTenant, tenant)
+	}
+	status, respBody, respHdr, err := fwd.PostRaw(r.Context(), r.URL.Path, body)
+	if err != nil {
+		n.peerErrors.Add(1)
+		n.log.Warn("cluster: forward failed; serving locally", "peer", owner.ID, "path", r.URL.Path, "err", err)
+		n.MarkDead(owner.ID)
+		return false
+	}
+	n.forwards.Add(1)
+	for _, h := range []string{"Content-Type", "Retry-After", HeaderNode} {
+		if v := respHdr.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(status)
+	w.Write(respBody)
+	return true
+}
+
+// ---- observability ----
+
+// healthInfo feeds the cluster view into GET /healthz.
+func (n *Node) healthInfo() map[string]any {
+	ring := n.ring.Load()
+	peers := make([]map[string]any, 0, len(n.opts.Members))
+	for _, m := range n.opts.Members {
+		peers = append(peers, map[string]any{
+			"id":    m.ID,
+			"addr":  m.Addr,
+			"alive": ring.Has(m.ID),
+		})
+	}
+	return map[string]any{
+		"node":        n.self.ID,
+		"ringVersion": ring.Version(),
+		"ringMembers": ring.Size(),
+		"peers":       peers,
+	}
+}
+
+// metricsAppend feeds the peer-protocol counters into GET /metrics.
+func (n *Node) metricsAppend(w io.Writer) {
+	fmt.Fprintf(w, "# HELP dsserve_peer_forwards_total Requests forwarded to their owning peer node.\n# TYPE dsserve_peer_forwards_total counter\ndsserve_peer_forwards_total %d\n", n.forwards.Load())
+	fmt.Fprintf(w, "# HELP dsserve_steals_total Sweep sub-grids executed by a node that does not own them.\n# TYPE dsserve_steals_total counter\ndsserve_steals_total %d\n", n.steals.Load())
+	fmt.Fprintf(w, "# HELP dsserve_peer_errors_total Peer calls that exhausted their retries (node-loss signals).\n# TYPE dsserve_peer_errors_total counter\ndsserve_peer_errors_total %d\n", n.peerErrors.Load())
+	fmt.Fprintf(w, "# HELP dsserve_ring_members Live members in this node's ring view.\n# TYPE dsserve_ring_members gauge\ndsserve_ring_members %d\n", n.ring.Load().Size())
+	sheds := n.adm.Sheds()
+	if len(sheds) > 0 {
+		fmt.Fprintf(w, "# HELP dsserve_tenant_shed_total Requests shed by per-tenant admission (429s), by tenant.\n# TYPE dsserve_tenant_shed_total counter\n")
+		for _, s := range sheds {
+			fmt.Fprintf(w, "dsserve_tenant_shed_total{tenant=%q} %d\n", s.Tenant, s.Shed)
+		}
+	}
+}
+
+// writeError mirrors the service's JSON error rendering.
+func (n *Node) writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderNode, n.self.ID)
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Error string `json:"error"`
+	}{Error: service.OneLine(err)})
+}

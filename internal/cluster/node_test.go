@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/service"
+)
+
+// testCluster is N in-process nodes listening on real TCP ports, so peer
+// forwarding exercises the same HTTP path production uses.
+type testCluster struct {
+	nodes   []*Node
+	addrs   []string
+	servers []*http.Server
+}
+
+func startCluster(t *testing.T, size int, opts Options) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	listeners := make([]net.Listener, size)
+	members := make([]Member, size)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addr := "http://" + ln.Addr().String()
+		tc.addrs = append(tc.addrs, addr)
+		members[i] = Member{ID: fmt.Sprintf("n%d", i), Addr: addr}
+	}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	for i, ln := range listeners {
+		o := opts
+		o.Self = members[i].ID
+		o.Members = members
+		o.Logger = quiet
+		if o.PeerAttempts == 0 {
+			o.PeerAttempts = 2
+		}
+		if o.PeerBaseDelay == 0 {
+			o.PeerBaseDelay = 5 * time.Millisecond
+		}
+		node, err := New(o, service.Options{Workers: 4, Logger: quiet})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: node.Handler()}
+		go hs.Serve(ln)
+		tc.nodes = append(tc.nodes, node)
+		tc.servers = append(tc.servers, hs)
+	}
+	t.Cleanup(func() {
+		for i := range tc.servers {
+			tc.kill(i)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, n := range tc.nodes {
+			n.Server().Drain(ctx)
+		}
+	})
+	return tc
+}
+
+// kill hard-stops node i's HTTP server (listener and live connections).
+func (tc *testCluster) kill(i int) {
+	if tc.servers[i] != nil {
+		tc.servers[i].Close()
+		tc.servers[i] = nil
+	}
+}
+
+func postNode(t *testing.T, addr, path string, body any, header map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, addr+path, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+var testRunReq = service.RunRequest{
+	Workload: service.WorkloadSpec{Name: "fig21", N: 24},
+	Scheme:   service.SchemeSpec{Name: "process", X: 4},
+	Config:   service.ConfigSpec{P: 4},
+}
+
+// TestClusterForwardAndCrossNodeCacheHit: any node accepts the request, the
+// key's owner serves it (visible in X-DSServe-Node), and a repeat through a
+// different node hits the owner's cache — the cluster behaves as one
+// logical content-addressed cache.
+func TestClusterForwardAndCrossNodeCacheHit(t *testing.T) {
+	tc := startCluster(t, 3, Options{})
+
+	key, err := service.RunKey(testRunReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := tc.nodes[0].Ring().Owner(key)
+
+	// Pick two distinct edge nodes that do not own the key.
+	var edges []int
+	for i, n := range tc.nodes {
+		if n.self.ID != owner.ID {
+			edges = append(edges, i)
+		}
+	}
+	if len(edges) < 2 {
+		t.Fatalf("want 2 non-owner nodes in a 3-node ring, got %d", len(edges))
+	}
+
+	resp, body := postNode(t, tc.addrs[edges[0]], "/run", testRunReq, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first /run via %s: %d %s", tc.nodes[edges[0]].self.ID, resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(HeaderNode); got != owner.ID {
+		t.Errorf("first run served by %q, ring owner is %q", got, owner.ID)
+	}
+	var first service.RunResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Key != key.String() {
+		t.Errorf("served key %s, routed by %s", first.Key, key)
+	}
+	if first.Cached {
+		t.Error("first evaluation reported cached")
+	}
+
+	resp, body = postNode(t, tc.addrs[edges[1]], "/run", testRunReq, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second /run via %s: %d %s", tc.nodes[edges[1]].self.ID, resp.StatusCode, body)
+	}
+	var second service.RunResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("repeat through a different node missed the cluster cache")
+	}
+	if second.Key != first.Key || second.Cycles != first.Cycles {
+		t.Errorf("cross-node answers diverge: %+v vs %+v", first, second)
+	}
+
+	for _, i := range edges {
+		if fwd, _, _ := tc.nodes[i].Counters(); fwd != 1 {
+			t.Errorf("edge node %s forwards = %d, want 1", tc.nodes[i].self.ID, fwd)
+		}
+	}
+	ownerNode := tc.nodes[0]
+	for _, n := range tc.nodes {
+		if n.self.ID == owner.ID {
+			ownerNode = n
+		}
+	}
+	if fwd, _, _ := ownerNode.Counters(); fwd != 0 {
+		t.Errorf("owner forwarded its own key %d times", fwd)
+	}
+}
+
+// TestClusterPeerAuth: the forwarded flag is a trusted-channel marker; with
+// a peer token configured, presenting the flag without the token is
+// rejected before any handler runs, so users cannot spoof their way past
+// tenant admission or routing.
+func TestClusterPeerAuth(t *testing.T) {
+	tc := startCluster(t, 1, Options{PeerToken: "s3cret"})
+
+	resp, _ := postNode(t, tc.addrs[0], "/run", testRunReq, map[string]string{HeaderForwarded: "1"})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("forged forwarded flag: %d, want 403", resp.StatusCode)
+	}
+	resp, body := postNode(t, tc.addrs[0], "/run", testRunReq, map[string]string{
+		HeaderForwarded: "1",
+		HeaderPeerToken: "s3cret",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated peer request: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestClusterSweepHealsAroundDeadNode: a 3-node sweep with one member dead
+// must mark it dead, steal its sub-grids onto the survivors, and still
+// produce exactly the single-node answer — never a hang, never a lost point.
+func TestClusterSweepHealsAroundDeadNode(t *testing.T) {
+	tc := startCluster(t, 3, Options{StealChunk: 2})
+
+	sweep := service.SweepRequest{
+		Workload: service.WorkloadSpec{Name: "fig21", N: 24},
+		Scheme:   service.SchemeSpec{Name: "process"},
+		Grid:     service.SweepGrid{X: []int{2, 4}, P: []int{2, 4}, Chunk: []int64{1, 2, 4}},
+	}
+	_, keys, err := service.SweepPointKeys(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := tc.nodes[0].Ring()
+	ownerCount := map[string]int{}
+	for _, k := range keys {
+		ownerCount[ring.Owner(k).ID]++
+	}
+	if len(ownerCount) != 3 {
+		t.Fatalf("grid's 12 keys spread over %d of 3 members (%v); enlarge the test grid", len(ownerCount), ownerCount)
+	}
+
+	// Kill node 2 before the sweep: its sub-grids must be dispatched, fail,
+	// and be re-dispatched to the survivors.
+	tc.kill(2)
+	deadID := tc.nodes[2].self.ID
+
+	resp, body := postNode(t, tc.addrs[0], "/sweep", sweep, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/sweep with a dead member: %d %s", resp.StatusCode, body)
+	}
+	var got service.SweepResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Failed != 0 || got.Evaluated != 12 {
+		t.Fatalf("sweep evaluated %d / failed %d of 12 points: %s", got.Evaluated, got.Failed, body)
+	}
+
+	// Single-node oracle on a fresh standalone server.
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	oracleSrv := service.NewServer(service.Options{Workers: 4, Logger: quiet})
+	defer oracleSrv.Drain(context.Background())
+	oracle, err := oracleSrv.EvalSweep(context.Background(), sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != len(oracle.Points) {
+		t.Fatalf("cluster returned %d points, oracle %d", len(got.Points), len(oracle.Points))
+	}
+	for i := range oracle.Points {
+		a, b := oracle.Points[i], got.Points[i]
+		a.Cached, b.Cached = false, false
+		if a != b {
+			t.Errorf("point %d: oracle %+v vs cluster %+v", i, a, b)
+		}
+	}
+	if len(got.Pareto) != len(oracle.Pareto) {
+		t.Fatalf("merged Pareto has %d points, oracle %d", len(got.Pareto), len(oracle.Pareto))
+	}
+	for i := range oracle.Pareto {
+		a, b := oracle.Pareto[i], got.Pareto[i]
+		a.Cached, b.Cached = false, false
+		if a != b {
+			t.Errorf("Pareto point %d: oracle %+v vs cluster %+v", i, a, b)
+		}
+	}
+
+	if tc.nodes[0].Ring().Has(deadID) {
+		t.Error("dead member still in the coordinator's ring view")
+	}
+	_, steals, peerErrs := tc.nodes[0].Counters()
+	if peerErrs < 1 {
+		t.Errorf("peerErrors = %d, want >= 1 (the dead node's dispatch must have failed)", peerErrs)
+	}
+	if steals < 1 {
+		t.Errorf("steals = %d, want >= 1 (the dead node's sub-grids must have been stolen)", steals)
+	}
+}
+
+// TestClusterTenantShed: a hot tenant exhausting its bucket gets 429s with
+// Retry-After while the breaker stays closed and other tenants keep
+// working — admission failures are tenant problems, not service problems.
+func TestClusterTenantShed(t *testing.T) {
+	tc := startCluster(t, 1, Options{Tenant: TenantPolicy{Rate: 0.001, Burst: 1}})
+	node := tc.nodes[0]
+
+	resp, body := postNode(t, tc.addrs[0], "/run", testRunReq, map[string]string{HeaderTenant: "hot"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first hot request: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = postNode(t, tc.addrs[0], "/run", testRunReq, map[string]string{HeaderTenant: "hot"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("hot tenant over budget: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("shed response Retry-After = %q, want a positive whole-second value", ra)
+	}
+	resp, body = postNode(t, tc.addrs[0], "/run", testRunReq, map[string]string{HeaderTenant: "cool"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cool tenant during hot shed: %d %s", resp.StatusCode, body)
+	}
+	if st := node.Server().Breaker().State(); st != service.BreakerClosed {
+		t.Errorf("breaker state = %v after tenant shedding, want closed", st)
+	}
+
+	metricsResp, err := http.Get(tc.addrs[0] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(metricsResp.Body)
+	metricsResp.Body.Close()
+	if !strings.Contains(string(metrics), `dsserve_tenant_shed_total{tenant="hot"} 1`) {
+		t.Errorf("metrics missing the hot tenant's shed counter:\n%s", metrics)
+	}
+}
+
+// TestClusterHealthz: every node's /healthz reports its identity and the
+// cluster view — node ID, ring version, and per-peer liveness.
+func TestClusterHealthz(t *testing.T) {
+	tc := startCluster(t, 3, Options{})
+
+	for i, n := range tc.nodes {
+		resp, err := http.Get(tc.addrs[i] + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var hz struct {
+			Node        string `json:"node"`
+			RingVersion string `json:"ringVersion"`
+			RingMembers int    `json:"ringMembers"`
+			Peers       []struct {
+				ID    string `json:"id"`
+				Addr  string `json:"addr"`
+				Alive bool   `json:"alive"`
+			} `json:"peers"`
+		}
+		if err := json.Unmarshal(body, &hz); err != nil {
+			t.Fatalf("healthz decode: %v (%s)", err, body)
+		}
+		if hz.Node != n.self.ID {
+			t.Errorf("node %d healthz reports identity %q, want %q", i, hz.Node, n.self.ID)
+		}
+		if hz.RingVersion != tc.nodes[0].Ring().Version() {
+			t.Errorf("node %d ring version %q diverges from node 0", i, hz.RingVersion)
+		}
+		if hz.RingMembers != 3 || len(hz.Peers) != 3 {
+			t.Errorf("node %d sees %d members / %d peers, want 3/3", i, hz.RingMembers, len(hz.Peers))
+		}
+		for _, p := range hz.Peers {
+			if !p.Alive {
+				t.Errorf("node %d reports peer %s dead at startup", i, p.ID)
+			}
+		}
+	}
+
+	// Metrics expose the peer counters on every node.
+	resp, err := http.Get(tc.addrs[0] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, name := range []string{"dsserve_peer_forwards_total", "dsserve_steals_total", "dsserve_peer_errors_total", "dsserve_ring_members 3"} {
+		if !strings.Contains(string(metrics), name) {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePeers parses the -peers flag: a comma-separated list of
+// "id=addr" entries, each with an optional "*weight" suffix, e.g.
+//
+//	a=http://10.0.0.1:8077,b=http://10.0.0.2:8077*2
+//
+// An empty spec yields no peers (a cluster of one). Every node in a
+// cluster must be started with the same membership — ring versions (and
+// thus ownership) agree exactly when the parsed sets agree.
+func ParsePeers(spec string) ([]Member, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []Member
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, rest, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || rest == "" {
+			return nil, fmt.Errorf("cluster: peer entry %q is not id=addr[*weight]", entry)
+		}
+		m := Member{ID: id}
+		if addr, w, ok := strings.Cut(rest, "*"); ok {
+			weight, err := strconv.Atoi(w)
+			if err != nil || weight < 1 {
+				return nil, fmt.Errorf("cluster: peer entry %q has invalid weight %q", entry, w)
+			}
+			m.Addr, m.Weight = addr, weight
+		} else {
+			m.Addr = rest
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

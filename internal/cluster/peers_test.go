@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	got, err := ParsePeers(" a=http://10.0.0.1:8077, b=http://10.0.0.2:8077*2 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{
+		{ID: "a", Addr: "http://10.0.0.1:8077"},
+		{ID: "b", Addr: "http://10.0.0.2:8077", Weight: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParsePeers = %+v, want %+v", got, want)
+	}
+
+	if got, err := ParsePeers("  "); err != nil || got != nil {
+		t.Errorf("empty spec: %v, %v — want nil, nil", got, err)
+	}
+
+	for _, bad := range []string{"nodots", "=http://x", "a=", "a=http://x*zero", "a=http://x*0"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted invalid input", bad)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"github.com/csrd-repro/datasync/internal/service"
+)
+
+// sweepTask is one owner-aligned sub-grid of a sweep: indices into the full
+// point list, preferring execution on the node that owns those keys (so
+// results land in — and later hit — the owner's shard of the cluster cache).
+type sweepTask struct {
+	owner   string
+	indices []int
+}
+
+// sweepRun coordinates one cluster-wide sweep with work-stealing. One
+// worker per live member drains a per-owner task queue; a worker whose own
+// queue is empty steals from the longest remaining queue. A peer that stops
+// answering is marked dead, its in-flight task is requeued, and its worker
+// exits — survivors (always including self, which executes in-process and
+// cannot die) steal the orphaned tasks, so the sweep completes with a
+// correct merged front or fails point-by-point, but never hangs.
+type sweepRun struct {
+	n    *Node
+	req  service.SweepRequest
+	sels []service.GridSel
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  map[string][]*sweepTask
+	pending int // tasks queued or executing; 0 means the sweep is drained
+
+	points []service.SweepPoint
+	done   []bool
+}
+
+// coordinateSweep is the cluster entry point for POST /sweep: it shards the
+// grid by key ownership, fans the sub-grids across the cluster with work
+// stealing, and merges the answers into the same response — byte for byte —
+// a single node would produce. Requests the coordinator cannot expand fall
+// through to the local handler, which owns the error vocabulary.
+func (n *Node) coordinateSweep(w http.ResponseWriter, r *http.Request, inner http.Handler) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		n.writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: read request: %w", err))
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+
+	if n.ring.Load().Size() == 1 {
+		n.serveLocal(w, r, inner)
+		return
+	}
+	var req service.SweepRequest
+	if err := strictUnmarshal(body, &req); err != nil {
+		n.serveLocal(w, r, inner)
+		return
+	}
+	// Validate exactly what EvalSweep validates, so an invalid sweep gets
+	// the identical local 400 instead of a fan-out of per-point failures.
+	if _, err := req.Scheme.Build(); err != nil {
+		n.serveLocal(w, r, inner)
+		return
+	}
+	sels, keys, err := service.SweepPointKeys(req)
+	if err != nil {
+		n.serveLocal(w, r, inner)
+		return
+	}
+
+	run := &sweepRun{
+		n:      n,
+		req:    req,
+		sels:   sels,
+		queues: make(map[string][]*sweepTask),
+		points: make([]service.SweepPoint, len(sels)),
+		done:   make([]bool, len(sels)),
+	}
+	run.cond = sync.NewCond(&run.mu)
+
+	// Owner-aligned sub-grids: group point indices by the owning member,
+	// then chunk each group so stealing has useful granularity.
+	ring := n.ring.Load()
+	byOwner := make(map[string][]int)
+	for i, k := range keys {
+		id := ring.Owner(k).ID
+		byOwner[id] = append(byOwner[id], i)
+	}
+	for id, idx := range byOwner {
+		for start := 0; start < len(idx); start += n.opts.StealChunk {
+			end := min(start+n.opts.StealChunk, len(idx))
+			run.queues[id] = append(run.queues[id], &sweepTask{owner: id, indices: idx[start:end]})
+			run.pending++
+		}
+	}
+
+	run.execute(r.Context())
+
+	resp := service.SweepResponse{Workload: run.req.Workload.Name, Points: run.points}
+	if wl, err := run.req.Workload.Build(); err == nil {
+		resp.Workload = wl.Name
+	}
+	for _, p := range run.points {
+		if p.Error != "" {
+			resp.Failed++
+			continue
+		}
+		resp.Evaluated++
+		if p.Cached {
+			resp.CacheHits++
+		}
+	}
+	// The merged front is re-derived over the full point set, exactly as a
+	// single node derives it — sub-grid fronts are never stitched together.
+	resp.Pareto = service.ParetoFront(resp.Points)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderNode, n.self.ID)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// execute runs one worker per live member and waits for the sweep to drain
+// (or the request context to end, in which case unfinished points report
+// the cancellation).
+func (run *sweepRun) execute(ctx context.Context) {
+	// A context that ends while workers wait must wake them up.
+	stop := context.AfterFunc(ctx, func() {
+		run.mu.Lock()
+		run.cond.Broadcast()
+		run.mu.Unlock()
+	})
+	defer stop()
+
+	var wg sync.WaitGroup
+	for _, m := range run.n.ring.Load().Members() {
+		wg.Add(1)
+		go func(m Member) {
+			defer wg.Done()
+			run.worker(ctx, m)
+		}(m)
+	}
+	wg.Wait()
+
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	for i, ok := range run.done {
+		if !ok {
+			run.points[i] = run.failedPoint(i, fmt.Errorf("sweep abandoned: %v", context.Cause(ctx)))
+		}
+	}
+}
+
+// worker drains tasks for one member until the sweep completes, the
+// context ends, or the member leaves the ring mid-sweep.
+func (run *sweepRun) worker(ctx context.Context, m Member) {
+	for {
+		run.mu.Lock()
+		var task *sweepTask
+		var stolen bool
+		for {
+			if run.pending == 0 || ctx.Err() != nil {
+				run.mu.Unlock()
+				return
+			}
+			if m.ID != run.n.self.ID && !run.n.ring.Load().Has(m.ID) {
+				// The member died (another worker's call failed): its
+				// queued tasks stay stealable, but it executes nothing more.
+				run.mu.Unlock()
+				return
+			}
+			task, stolen = run.takeLocked(m.ID)
+			if task != nil {
+				break
+			}
+			run.cond.Wait()
+		}
+		run.mu.Unlock()
+
+		if stolen {
+			run.n.steals.Add(1)
+		}
+		run.runTask(ctx, m, task)
+	}
+}
+
+// takeLocked pops a task for member id: its own queue first, otherwise a
+// steal from the longest other queue (ID-ordered tiebreak, so concurrent
+// runs disagree only on timing, never on which queue is "longest").
+func (run *sweepRun) takeLocked(id string) (*sweepTask, bool) {
+	if q := run.queues[id]; len(q) > 0 {
+		run.queues[id] = q[1:]
+		return q[0], false
+	}
+	owners := make([]string, 0, len(run.queues))
+	for o, q := range run.queues {
+		if o != id && len(q) > 0 {
+			owners = append(owners, o)
+		}
+	}
+	if len(owners) == 0 {
+		return nil, false
+	}
+	sort.Slice(owners, func(i, j int) bool {
+		a, b := owners[i], owners[j]
+		if la, lb := len(run.queues[a]), len(run.queues[b]); la != lb {
+			return la > lb
+		}
+		return a < b
+	})
+	q := run.queues[owners[0]]
+	run.queues[owners[0]] = q[1:]
+	return q[0], true
+}
+
+// runTask evaluates one sub-grid on member m: in-process for self, over the
+// peer protocol otherwise. A peer that stops answering is marked dead and
+// the task requeued for the survivors.
+func (run *sweepRun) runTask(ctx context.Context, m Member, task *sweepTask) {
+	sub := run.req
+	sub.Grid = service.SweepGrid{}
+	sub.Points = make([]service.GridSel, len(task.indices))
+	for j, idx := range task.indices {
+		sub.Points[j] = run.sels[idx]
+	}
+
+	if m.ID == run.n.self.ID {
+		resp, err := run.n.srv.EvalSweep(ctx, sub)
+		if err != nil {
+			run.finish(task, nil, err)
+			return
+		}
+		run.finish(task, resp.Points, nil)
+		return
+	}
+
+	// Peer dispatch rides the retrying JSON path: a peer answering 429/503
+	// (rebalancing load, briefly draining) is retried honoring Retry-After;
+	// a peer that stops answering altogether is dead.
+	var resp service.SweepResponse
+	err := run.n.clients[m.ID].PostJSON(ctx, "/sweep", sub, &resp)
+	if err == nil && len(resp.Points) == len(task.indices) {
+		run.finish(task, resp.Points, nil)
+		return
+	}
+	if err == nil {
+		err = fmt.Errorf("cluster: peer %s answered %d points for a %d-point sub-grid", m.ID, len(resp.Points), len(task.indices))
+	}
+	if ctx.Err() != nil {
+		run.requeue(task)
+		return
+	}
+	run.n.peerErrors.Add(1)
+	run.n.log.Warn("cluster: sweep dispatch failed; requeueing sub-grid", "peer", m.ID, "points", len(task.indices), "err", err)
+	run.n.MarkDead(m.ID)
+	run.requeue(task)
+}
+
+// finish records a task's results (or its failure, spread over its points)
+// and wakes waiting workers.
+func (run *sweepRun) finish(task *sweepTask, pts []service.SweepPoint, err error) {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	for j, idx := range task.indices {
+		if err != nil {
+			run.points[idx] = run.failedPoint(idx, err)
+		} else {
+			run.points[idx] = pts[j]
+		}
+		run.done[idx] = true
+	}
+	run.pending--
+	run.cond.Broadcast()
+}
+
+// requeue returns an unexecuted task to its owner's queue (dead owners'
+// queues are still steal targets, so the task reaches a survivor).
+func (run *sweepRun) requeue(task *sweepTask) {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	run.queues[task.owner] = append(run.queues[task.owner], task)
+	run.cond.Broadcast()
+}
+
+// failedPoint renders one point's failure in the same shape EvalSweep uses.
+func (run *sweepRun) failedPoint(idx int, err error) service.SweepPoint {
+	sel := run.sels[idx]
+	pt := service.SweepPoint{X: sel.X, P: sel.P, Chunk: sel.Chunk, BusLatency: sel.BusLatency, Error: service.OneLine(err)}
+	if sel.HasG {
+		pt.G = sel.G
+	}
+	return pt
+}

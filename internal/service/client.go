@@ -28,6 +28,10 @@ type Client struct {
 	// caps it (default 2s).
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// Header, when set, is added to every request. The cluster layer uses
+	// it for the peer protocol: the shared peer token, the forwarded flag
+	// and the sending node's attribution ride here.
+	Header http.Header
 	// OnRetry, when set, observes each retry decision (smoke scripts log it).
 	OnRetry func(attempt int, delay time.Duration, cause string)
 }
@@ -89,11 +93,24 @@ func (c *Client) PostJSON(ctx context.Context, path string, in, out any) error {
 		if cl.OnRetry != nil {
 			cl.OnRetry(attempt, delay, lastErr.Error())
 		}
-		select {
-		case <-time.After(delay):
-		case <-ctx.Done():
-			return fmt.Errorf("client: cancelled while backing off: %w", ctx.Err())
+		if err := sleepCtx(ctx, delay); err != nil {
+			return err
 		}
+	}
+}
+
+// sleepCtx sleeps for delay unless ctx ends first: a canceled request must
+// return promptly even mid-backoff (a server-driven Retry-After can park a
+// retry for many seconds), and the timer is stopped rather than left to
+// fire into a dead select.
+func sleepCtx(ctx context.Context, delay time.Duration) error {
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("client: cancelled while backing off: %w", ctx.Err())
 	}
 }
 
@@ -111,6 +128,7 @@ func (c *Client) backoff(attempt int) time.Duration {
 type clientResp struct {
 	code       int
 	body       []byte
+	header     http.Header
 	retryAfter time.Duration
 }
 
@@ -129,6 +147,9 @@ func (c *Client) post(ctx context.Context, path string, body []byte) (clientResp
 		return clientResp{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for k, vs := range c.Header {
+		req.Header[k] = vs
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return clientResp{}, err
@@ -138,11 +159,41 @@ func (c *Client) post(ctx context.Context, path string, body []byte) (clientResp
 	if err != nil {
 		return clientResp{}, err
 	}
-	out := clientResp{code: resp.StatusCode, body: data}
+	out := clientResp{code: resp.StatusCode, body: data, header: resp.Header}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		out.retryAfter = parseRetryAfter(ra, time.Now())
 	}
 	return out, nil
+}
+
+// PostRaw posts pre-encoded JSON and relays whatever the server answers —
+// status, body and headers — without interpreting HTTP status codes.
+// Only transport errors are retried (the server is unreachable, not
+// answering); any HTTP response, including 4xx/5xx, belongs to the caller
+// verbatim. The cluster layer forwards requests to their owning node this
+// way: the owner's answer (a 429 with Retry-After as much as a 200) is the
+// answer, while an unreachable owner — after the configured attempts — is
+// a node-loss signal the forwarder heals around.
+func (c *Client) PostRaw(ctx context.Context, path string, body []byte) (status int, respBody []byte, header http.Header, err error) {
+	cl := c.withDefaults()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := cl.post(ctx, path, body)
+		if err == nil {
+			return resp.code, resp.body, resp.header, nil
+		}
+		lastErr = err
+		if attempt >= cl.MaxAttempts {
+			return 0, nil, nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt, lastErr)
+		}
+		delay := cl.backoff(attempt)
+		if cl.OnRetry != nil {
+			cl.OnRetry(attempt, delay, lastErr.Error())
+		}
+		if err := sleepCtx(ctx, delay); err != nil {
+			return 0, nil, nil, err
+		}
+	}
 }
 
 // maxRetryAfter caps server-driven backoff: a far-future HTTP-date (or an
@@ -220,7 +271,17 @@ func gridSize(g SweepGrid) int {
 
 // splitSweep halves the longest grid dimension until every sub-request fits
 // the server's point cap. Grid order within each dimension is preserved.
+// An explicit point list splits by slicing instead.
 func splitSweep(req SweepRequest, limit int) []SweepRequest {
+	if pts := req.Points; len(pts) > 0 {
+		var subs []SweepRequest
+		for start := 0; start < len(pts); start += limit {
+			sub := req
+			sub.Points = pts[start:min(start+limit, len(pts))]
+			subs = append(subs, sub)
+		}
+		return subs
+	}
 	if gridSize(req.Grid) <= limit {
 		return []SweepRequest{req}
 	}

@@ -1,8 +1,10 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -121,6 +123,99 @@ func TestClientHonorsHTTPDateRetryAfter(t *testing.T) {
 	}
 	if resp.Cycles != 7 || calls.Load() != 2 {
 		t.Errorf("cycles = %d calls = %d, want 7/2", resp.Cycles, calls.Load())
+	}
+}
+
+// TestClientCancelDuringBackoff: a context canceled while the client sleeps
+// out a backoff (here a server-driven 20s Retry-After) must abort the sleep
+// promptly instead of parking for the full delay — the regression this pins
+// is a bare time.Sleep in the retry loop.
+func TestClientCancelDuringBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "20")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(errorResponse{Error: "breaker open"})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	backingOff := make(chan struct{})
+	c := Client{Base: ts.URL, MaxAttempts: 3,
+		OnRetry: func(int, time.Duration, string) { close(backingOff) }}
+	done := make(chan error, 1)
+	go func() { done <- c.PostJSON(ctx, "/run", RunRequest{}, nil) }()
+
+	<-backingOff // the client is now inside the 20s backoff sleep
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > 2*time.Second {
+			t.Fatalf("cancellation took %v to unblock the backoff", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client still blocked 5s after cancellation mid-backoff")
+	}
+}
+
+// TestClientPostRawRelaysStatus: PostRaw hands back any HTTP answer
+// verbatim — a 400 is data, not a retryable failure — while transport
+// errors are retried and eventually surfaced.
+func TestClientPostRawRelaysStatus(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if got := r.Header.Get("X-DSServe-Peer-Token"); got != "s3cret" {
+			t.Errorf("peer token header = %q, want s3cret", got)
+		}
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"tenant over quota"}`))
+	}))
+	defer ts.Close()
+
+	c := Client{Base: ts.URL, MaxAttempts: 3, BaseDelay: time.Millisecond,
+		Header: http.Header{"X-Dsserve-Peer-Token": {"s3cret"}}}
+	code, body, hdr, err := c.PostRaw(context.Background(), "/run", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("PostRaw: %v", err)
+	}
+	if code != http.StatusTooManyRequests || calls.Load() != 1 {
+		t.Errorf("code = %d calls = %d, want 429 on the single attempt", code, calls.Load())
+	}
+	if hdr.Get("Retry-After") != "7" {
+		t.Errorf("Retry-After = %q, want relayed 7", hdr.Get("Retry-After"))
+	}
+	if want := "tenant over quota"; !bytes.Contains(body, []byte(want)) {
+		t.Errorf("body %q does not relay %q", body, want)
+	}
+
+	ts.Close() // now unreachable: transport errors retry, then surface
+	calls.Store(0)
+	if _, _, _, err := c.PostRaw(context.Background(), "/run", []byte(`{}`)); err == nil {
+		t.Fatal("PostRaw succeeded against a closed server")
+	}
+}
+
+// TestSplitSweepPoints: an explicit point list splits by slicing.
+func TestSplitSweepPoints(t *testing.T) {
+	req := SweepRequest{}
+	for i := 0; i < 25; i++ {
+		req.Points = append(req.Points, GridSel{X: i + 1, P: 4, Chunk: 1, BusLatency: 1})
+	}
+	subs := splitSweep(req, 10)
+	if len(subs) != 3 {
+		t.Fatalf("split into %d sub-requests, want 3", len(subs))
+	}
+	total := 0
+	for _, sub := range subs {
+		total += len(sub.Points)
+	}
+	if total != 25 {
+		t.Errorf("split covers %d points, want 25", total)
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net/http"
 
-	"github.com/csrd-repro/datasync/internal/cache"
 	"github.com/csrd-repro/datasync/internal/codegen"
 	"github.com/csrd-repro/datasync/internal/frontend"
 	"github.com/csrd-repro/datasync/internal/sim"
@@ -211,17 +210,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if filename == "" {
 		filename = "input.go"
 	}
-	names, err := compileSchemeNames(req.Schemes)
+	if err := req.Config.SimConfig().Check(); err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := CompileRequestKey(req)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	cfg := req.Config.SimConfig()
-	if err := cfg.Check(); err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	key := cache.CompileKey(filename, []byte(req.Source), names, cfg)
 	v, hit, err := s.cache.Do(key, func() (any, error) {
 		return s.executeCompile(r.Context(), filename, req)
 	})

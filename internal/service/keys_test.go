@@ -1,0 +1,137 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestExportedKeysMatchServer: the exported canonical-key functions — the
+// cluster router's ownership oracle — must compute exactly the addresses
+// the handlers cache under. Drift here would split a request's cache home
+// from its routing home.
+func TestExportedKeysMatchServer(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2})
+
+	runReq := RunRequest{
+		Workload: WorkloadSpec{Name: "fig21", N: 24},
+		Scheme:   SchemeSpec{Name: "process", X: 4},
+		Config:   ConfigSpec{P: 4},
+	}
+	resp, body := post(t, ts, "/run", runReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/run: %d %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	key, err := RunKey(runReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.String() != rr.Key {
+		t.Errorf("RunKey = %s, server cached under %s", key, rr.Key)
+	}
+
+	verReq := VerifyRequest{
+		Workload: runReq.Workload,
+		Scheme:   runReq.Scheme,
+		Config:   runReq.Config,
+		Dynamic:  true,
+	}
+	resp, body = post(t, ts, "/verify", verReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/verify: %d %s", resp.StatusCode, body)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	vkey, err := VerifyKey(verReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vkey.String() != vr.Key {
+		t.Errorf("VerifyKey = %s, server cached under %s", vkey, vr.Key)
+	}
+	if vkey == key {
+		t.Error("verify key collides with run key; the mode discriminator is lost")
+	}
+
+	compReq := CompileRequest{
+		Source: "package p\nfunc k(a []int) {\n\tfor i := 1; i < 20; i++ {\n\t\ta[i] = a[i-1] + i\n\t}\n}\n",
+		Config: ConfigSpec{P: 4},
+	}
+	resp, body = post(t, ts, "/compile", compReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/compile: %d %s", resp.StatusCode, body)
+	}
+	var cr CompileResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	ckey, err := CompileRequestKey(compReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckey.String() != cr.Key {
+		t.Errorf("CompileRequestKey = %s, server cached under %s", ckey, cr.Key)
+	}
+}
+
+// TestSweepPointsEquivalence: a sweep dispatched as explicit points (the
+// cluster's sub-grid form) must measure exactly what the same sweep
+// measures as a cross-product grid — the determinism argument that makes
+// cluster-wide sweeps byte-identical to single-node ones.
+func TestSweepPointsEquivalence(t *testing.T) {
+	s, _ := testServer(t, Options{Workers: 4})
+
+	base := SweepRequest{
+		Workload: WorkloadSpec{Name: "fig21", N: 24},
+		Scheme:   SchemeSpec{Name: "process"},
+		Config:   ConfigSpec{},
+		Grid:     SweepGrid{X: []int{2, 4}, P: []int{2, 4}, Chunk: []int64{1, 2}},
+	}
+	sels, keys, err := SweepPointKeys(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sels) != 8 || len(keys) != 8 {
+		t.Fatalf("expanded %d sels / %d keys, want 8", len(sels), len(keys))
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		seen[k.String()] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("only %d distinct point keys of 8: points must address distinct cache entries", len(seen))
+	}
+
+	gridResp, err := s.EvalSweep(t.Context(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptsReq := base
+	ptsReq.Grid = SweepGrid{}
+	ptsReq.Points = sels
+	// A fresh server so no point arrives via the first sweep's cache.
+	s2, _ := testServer(t, Options{Workers: 4})
+	ptsResp, err := s2.EvalSweep(t.Context(), ptsReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ptsResp.Points) != len(gridResp.Points) {
+		t.Fatalf("points form evaluated %d points, grid form %d", len(ptsResp.Points), len(gridResp.Points))
+	}
+	for i := range gridResp.Points {
+		a, b := gridResp.Points[i], ptsResp.Points[i]
+		a.Cached, b.Cached = false, false
+		if a != b {
+			t.Errorf("point %d differs: grid %+v vs points %+v", i, a, b)
+		}
+	}
+	if len(gridResp.Pareto) != len(ptsResp.Pareto) {
+		t.Errorf("Pareto fronts differ: %d vs %d points", len(gridResp.Pareto), len(ptsResp.Pareto))
+	}
+}

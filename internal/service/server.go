@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -39,6 +40,14 @@ type Options struct {
 	BreakerCooldown time.Duration
 	// Logger receives structured request logs (default: slog.Default).
 	Logger *slog.Logger
+	// HealthInfo, when set, contributes extra fields to the /healthz body
+	// (the cluster layer reports node ID, ring version and peer liveness
+	// through it). Keys that collide with the built-in fields are ignored.
+	HealthInfo func() map[string]any
+	// MetricsAppend, when set, writes extra Prometheus exposition text after
+	// the built-in metrics (the cluster layer appends peer-forward, steal
+	// and tenant-shed counters through it).
+	MetricsAppend func(w io.Writer)
 }
 
 func (o Options) withDefaults() Options {
@@ -195,6 +204,55 @@ type VerifyResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// ---- canonical content addresses ----
+//
+// These are the single source of request identity, shared by the handlers
+// (cache addressing) and the cluster router (ownership): a request's canon
+// key decides both where its result is cached and which node owns it, so
+// the two can never disagree.
+
+// RunKey computes the canonical content address of a run request.
+func RunKey(req RunRequest) (cache.Key, error) {
+	wl, err := req.Workload.Build()
+	if err != nil {
+		return cache.Key{}, err
+	}
+	sch, err := req.Scheme.Build()
+	if err != nil {
+		return cache.Key{}, err
+	}
+	return cache.RequestKey(wl, sch.Name(), req.Config.SimConfig()), nil
+}
+
+// VerifyKey computes the canonical content address of a verify request: the
+// run address extended with the verification-mode discriminator.
+func VerifyKey(req VerifyRequest) (cache.Key, error) {
+	wl, err := req.Workload.Build()
+	if err != nil {
+		return cache.Key{}, err
+	}
+	sch, err := req.Scheme.Build()
+	if err != nil {
+		return cache.Key{}, err
+	}
+	return cache.RequestKey(wl, sch.Name(), req.Config.SimConfig(),
+		fmt.Sprintf("mode=verify dynamic=%v maxIters=%d", req.Dynamic, req.MaxIters)), nil
+}
+
+// CompileRequestKey computes the canonical content address of a compile
+// request (defaults applied, scheme selection canonicalized to built names).
+func CompileRequestKey(req CompileRequest) (cache.Key, error) {
+	filename := req.Filename
+	if filename == "" {
+		filename = "input.go"
+	}
+	names, err := compileSchemeNames(req.Schemes)
+	if err != nil {
+		return cache.Key{}, err
+	}
+	return cache.CompileKey(filename, []byte(req.Source), names, req.Config.SimConfig()), nil
 }
 
 // ---- evaluation ----
@@ -377,18 +435,19 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	sch, err := req.Scheme.Build()
+	if _, err := req.Scheme.Build(); err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Config.SimConfig().Check(); err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := VerifyKey(req)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	cfg := req.Config.SimConfig()
-	if err := cfg.Check(); err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	key := cache.RequestKey(wl, sch.Name(), cfg,
-		fmt.Sprintf("mode=verify dynamic=%v maxIters=%d", req.Dynamic, req.MaxIters))
 	v, hit, err := s.cache.Do(key, func() (any, error) {
 		return s.executeVerify(r.Context(), wl, req)
 	})
@@ -462,15 +521,24 @@ func (s *Server) executeVerify(ctx context.Context, wl *codegen.Workload, req Ve
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
-		return
-	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":  "ok",
 		"workers": s.pool.Workers(),
 		"queue":   s.pool.QueueDepth(),
-	})
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		body = map[string]any{"status": "draining"}
+		code = http.StatusServiceUnavailable
+	}
+	if s.opts.HealthInfo != nil {
+		for k, v := range s.opts.HealthInfo() {
+			if _, taken := body[k]; !taken {
+				body[k] = v
+			}
+		}
+	}
+	s.writeJSON(w, code, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -483,6 +551,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		RecoveredRuns:  s.recoveredRuns.Load(),
 		RecoveryCost:   s.recoveryCost.Load(),
 	})
+	if s.opts.MetricsAppend != nil {
+		s.opts.MetricsAppend(w)
+	}
 }
 
 // ---- plumbing ----

@@ -1,10 +1,13 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
+
+	"github.com/csrd-repro/datasync/internal/cache"
 )
 
 // maxSweepPoints caps one sweep request's grid: large studies should be
@@ -29,6 +32,21 @@ type SweepRequest struct {
 	Scheme   SchemeSpec   `json:"scheme"`
 	Config   ConfigSpec   `json:"config"`
 	Grid     SweepGrid    `json:"grid"`
+	// Points, when non-empty, overrides Grid with an explicit point list.
+	// The cluster coordinator dispatches owner-aligned sub-grids this way:
+	// an arbitrary subset of a cross-product grid is not itself a
+	// cross-product, so sub-grids travel as the points they contain.
+	Points []GridSel `json:"points,omitempty"`
+}
+
+// GridSel selects one fully resolved sweep point.
+type GridSel struct {
+	X          int   `json:"x"`
+	P          int   `json:"p"`
+	Chunk      int64 `json:"chunk"`
+	G          int64 `json:"g,omitempty"`
+	HasG       bool  `json:"hasG,omitempty"` // whether G overrides the base scheme's grouping
+	BusLatency int64 `json:"busLatency"`
 }
 
 // SweepPoint is one evaluated grid point. SyncTraffic is the run's total
@@ -66,6 +84,22 @@ type gridPoint struct {
 	x, p             int
 	chunk, g, busLat int64
 	hasG             bool
+}
+
+// expandPoints resolves the request's point set: the explicit Points list
+// when present, otherwise the grid cross product.
+func expandPoints(req SweepRequest) ([]gridPoint, error) {
+	if len(req.Points) > 0 {
+		if len(req.Points) > maxSweepPoints {
+			return nil, fmt.Errorf("sweep has %d explicit points, max %d — split the study", len(req.Points), maxSweepPoints)
+		}
+		points := make([]gridPoint, len(req.Points))
+		for i, sel := range req.Points {
+			points[i] = gridPoint{x: sel.X, p: sel.P, chunk: sel.Chunk, g: sel.G, busLat: sel.BusLatency, hasG: sel.HasG}
+		}
+		return points, nil
+	}
+	return req.Grid.expand(req)
 }
 
 // expand builds the cross product, substituting base values for empty
@@ -115,45 +149,76 @@ func (g SweepGrid) expand(base SweepRequest) ([]gridPoint, error) {
 	return points, nil
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
-	if !s.decode(w, r, &req) {
-		return
+// pointSpecs resolves one grid point into the scheme and config specs its
+// run is evaluated (and content-addressed) under.
+func pointSpecs(req SweepRequest, gp gridPoint) (SchemeSpec, ConfigSpec) {
+	sspec := req.Scheme
+	sspec.X = gp.x
+	if gp.hasG {
+		sspec.G = gp.g
 	}
+	cspec := req.Config
+	cspec.P = gp.p
+	cspec.Chunk = gp.chunk
+	lat := gp.busLat
+	cspec.BusLatency = &lat
+	return sspec, cspec
+}
+
+// SweepPointKeys expands a sweep request into its explicit point list (grid
+// order) together with each point's canonical content address. The cluster
+// coordinator uses it to shard a sweep by cache ownership: a point's key
+// decides both where its result lives and which node owns evaluating it.
+func SweepPointKeys(req SweepRequest) ([]GridSel, []cache.Key, error) {
 	wl, err := req.Workload.Build()
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, nil, err
+	}
+	points, err := expandPoints(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	sels := make([]GridSel, len(points))
+	keys := make([]cache.Key, len(points))
+	for i, gp := range points {
+		sels[i] = GridSel{X: gp.x, P: gp.p, Chunk: gp.chunk, G: gp.g, HasG: gp.hasG, BusLatency: gp.busLat}
+		sspec, cspec := pointSpecs(req, gp)
+		sch, err := sspec.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		keys[i] = cache.RequestKey(wl, sch.Name(), cspec.SimConfig())
+	}
+	return sels, keys, nil
+}
+
+// EvalSweep evaluates one sweep request on this server's pool and cache.
+// It is the engine behind POST /sweep and the per-node execution step of
+// the cluster's work-stealing sweep dispatch. The returned error covers
+// only an unbuildable request; per-point failures ride in the points.
+func (s *Server) EvalSweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	wl, err := req.Workload.Build()
+	if err != nil {
+		return nil, err
 	}
 	if _, err := req.Scheme.Build(); err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
-	points, err := req.Grid.expand(req)
+	points, err := expandPoints(req)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
 
-	// Fan the grid across the pool. The handler goroutine is not a pool
+	// Fan the grid across the pool. The caller's goroutine is not a pool
 	// worker, so waiting for a queue slot (SubmitWait via patientCtx)
 	// cannot deadlock the pool; interactive /run traffic keeps its
 	// fail-fast 429 behaviour while a sweep patiently shares capacity.
-	ctx := patientCtx(r.Context())
-	resp := SweepResponse{Workload: wl.Name, Points: make([]SweepPoint, len(points))}
+	ctx = patientCtx(ctx)
+	resp := &SweepResponse{Workload: wl.Name, Points: make([]SweepPoint, len(points))}
 	var wg sync.WaitGroup
 	for i, gp := range points {
 		i, gp := i, gp
-		sspec := req.Scheme
-		sspec.X = gp.x
-		if gp.hasG {
-			sspec.G = gp.g
-		}
-		cspec := req.Config
-		cspec.P = gp.p
-		cspec.Chunk = gp.chunk
-		lat := gp.busLat
-		cspec.BusLatency = &lat
+		sspec, cspec := pointSpecs(req, gp)
 
 		pt := SweepPoint{X: gp.x, P: cspec.SimConfig().Processors, Chunk: gp.chunk, BusLatency: gp.busLat}
 		if gp.hasG {
@@ -189,7 +254,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Pareto = ParetoFront(resp.Points)
-	s.writeJSON(w, http.StatusOK, resp)
+	return resp, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	resp, err := s.EvalSweep(r.Context(), req)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, *resp)
 }
 
 // ParetoFront returns the non-dominated successful points, minimizing

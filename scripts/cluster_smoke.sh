@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Smoke-test the dsserve cluster end to end: boot three dsserve processes as
+# one logical service, require every node to agree on the ring, prove a
+# cross-node cache hit (computed via one node, served cached via another,
+# with the forward visible in /metrics), shed a hot tenant with 429s while
+# the breaker stays closed, SIGTERM one node and require both a clean drain
+# (exit 0) and that the surviving cluster keeps serving.
+set -euo pipefail
+
+PORT_BASE="${DSCLUSTER_PORT_BASE:-18081}"
+PA=$PORT_BASE PB=$((PORT_BASE + 1)) PC=$((PORT_BASE + 2))
+BASE_A="http://127.0.0.1:$PA" BASE_B="http://127.0.0.1:$PB" BASE_C="http://127.0.0.1:$PC"
+BINDIR="$(mktemp -d)"
+BIN="$BINDIR/dsserve"
+TOKEN="smoke-peer-token"
+
+go build -o "$BIN" ./cmd/dsserve
+
+start_node() { # $1=id $2=port $3=peers-spec $4=log
+  "$BIN" -addr "127.0.0.1:$2" -node-id "$1" -advertise "http://127.0.0.1:$2" \
+    -peers "$3" -peer-token "$TOKEN" -workers 2 \
+    -tenant-rate 5 -tenant-burst 5 2>"$4" &
+}
+
+LOG_A="$(mktemp)" LOG_B="$(mktemp)" LOG_C="$(mktemp)"
+start_node a "$PA" "b=$BASE_B,c=$BASE_C" "$LOG_A"; PID_A=$!
+start_node b "$PB" "a=$BASE_A,c=$BASE_C" "$LOG_B"; PID_B=$!
+start_node c "$PC" "a=$BASE_A,b=$BASE_B" "$LOG_C"; PID_C=$!
+cleanup() {
+  kill "$PID_A" "$PID_B" "$PID_C" 2>/dev/null || true
+  echo "--- node a log ---" >&2; cat "$LOG_A" >&2 || true
+  echo "--- node b log ---" >&2; cat "$LOG_B" >&2 || true
+  echo "--- node c log ---" >&2; cat "$LOG_C" >&2 || true
+}
+trap cleanup EXIT
+
+# Wait for liveness on all three nodes.
+for base in "$BASE_A" "$BASE_B" "$BASE_C"; do
+  for i in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
+  curl -fsS "$base/healthz" | grep -q '"status": "ok"' || {
+    echo "node at $base not healthy" >&2; exit 1; }
+done
+
+# Every node must report the same ring version and a 3-member cluster view.
+ring_a=$(curl -fsS "$BASE_A/healthz" | grep '"ringVersion"')
+for base in "$BASE_B" "$BASE_C"; do
+  hz=$(curl -fsS "$base/healthz")
+  echo "$hz" | grep -qF "$ring_a" || {
+    echo "ring version mismatch: $base reports $hz, node a reports $ring_a" >&2; exit 1; }
+  echo "$hz" | grep -q '"ringMembers": 3' || {
+    echo "node at $base does not see 3 members: $hz" >&2; exit 1; }
+done
+echo "cluster smoke: 3 nodes agree on the ring"
+
+# Cross-node cache hit: compute through node a, repeat through node b. The
+# key has one owner, so the repeat must be served from the cluster cache
+# regardless of which node the client hit.
+body='{"workload":{"name":"fig21","n":60},"scheme":{"name":"process","x":4},"config":{"p":4}}'
+curl -fsS -X POST "$BASE_A/run" -d "$body" | grep -q '"cached": false' || {
+  echo "first cluster /run was already cached?" >&2; exit 1; }
+curl -fsS -X POST "$BASE_B/run" -d "$body" | grep -q '"cached": true' || {
+  echo "repeat through node b missed the cluster cache" >&2; exit 1; }
+
+# The forward that made that hit possible must be visible in /metrics:
+# unless the owner was hit directly both times, somebody forwarded.
+forwards=0
+for base in "$BASE_A" "$BASE_B" "$BASE_C"; do
+  f=$(curl -fsS "$base/metrics" | awk '/^dsserve_peer_forwards_total /{print $2}')
+  forwards=$((forwards + f))
+done
+[ "$forwards" -ge 1 ] || {
+  echo "no peer forwards recorded across the cluster (got $forwards)" >&2; exit 1; }
+echo "cluster smoke: cross-node cache hit ($forwards forwards)"
+
+# A sweep through one node fans out cluster-wide and still returns the full
+# merged answer with its Pareto front.
+sweep='{"workload":{"name":"fig21","n":48},"scheme":{"name":"process"},"grid":{"x":[2,4],"p":[2,4],"chunk":[1,2]}}'
+out=$(curl -fsS -X POST "$BASE_A/sweep" -d "$sweep")
+echo "$out" | grep -q '"pareto"' || { echo "cluster sweep missing pareto: $out" >&2; exit 1; }
+echo "$out" | grep -q '"failed": 0' || { echo "cluster sweep had failures: $out" >&2; exit 1; }
+echo "cluster smoke: cluster-wide sweep merged"
+
+# Hot tenant: burn the token bucket, expect 429 + Retry-After, the shed
+# visible in /metrics, and the breaker still closed (tenant misbehaviour is
+# not service unhealth).
+shed=0
+for i in $(seq 1 12); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE_A/run" \
+    -H 'X-DSServe-Tenant: hot' -d "$body")
+  [ "$code" = "429" ] && shed=$((shed + 1))
+done
+[ "$shed" -ge 1 ] || { echo "hot tenant was never shed across 12 rapid requests" >&2; exit 1; }
+curl -s -X POST "$BASE_A/run" -H 'X-DSServe-Tenant: hot' -d "$body" \
+  -o /dev/null -D - | grep -qi '^Retry-After:' || {
+  echo "shed response missing Retry-After" >&2; exit 1; }
+m=$(curl -fsS "$BASE_A/metrics")
+echo "$m" | grep -q 'dsserve_tenant_shed_total{tenant="hot"}' || {
+  echo "metrics missing hot tenant shed counter:" >&2; echo "$m" >&2; exit 1; }
+echo "$m" | grep -q 'dsserve_breaker_state 0' || {
+  echo "breaker left closed state during tenant shedding" >&2; exit 1; }
+curl -fsS -X POST "$BASE_B/run" -H 'X-DSServe-Tenant: cool' -d "$body" >/dev/null || {
+  echo "cool tenant rejected during hot tenant shedding" >&2; exit 1; }
+echo "cluster smoke: hot tenant shed $shed/12 with breaker closed"
+
+# Kill node c: it must drain cleanly (exit 0) while the survivors keep
+# serving — requests previously owned by c are healed onto a and b.
+kill -TERM "$PID_C"
+rc=0; wait "$PID_C" || rc=$?
+[ "$rc" = "0" ] || { echo "node c exited $rc after SIGTERM, want 0" >&2; exit 1; }
+for i in $(seq 1 10); do
+  # Distinct tenants: this loop tests survival, not the admission budget.
+  newbody="{\"workload\":{\"name\":\"fig21\",\"n\":$((60 + i))},\"scheme\":{\"name\":\"process\",\"x\":4},\"config\":{\"p\":4}}"
+  curl -fsS -X POST "$BASE_A/run" -H "X-DSServe-Tenant: survivor-$i" -d "$newbody" \
+    | grep -q '"cycles"' || {
+    echo "survivor cluster failed to serve run $i after node c left" >&2; exit 1; }
+done
+curl -fsS "$BASE_A/healthz" | grep -q '"status": "ok"' || {
+  echo "node a unhealthy after node c left" >&2; exit 1; }
+echo "cluster smoke: node c drained (exit 0), survivors kept serving"
+
+# Clean shutdown of the rest.
+kill -TERM "$PID_A" "$PID_B"
+rc=0; wait "$PID_A" || rc=$?
+[ "$rc" = "0" ] || { echo "node a exited $rc after SIGTERM, want 0" >&2; exit 1; }
+rc=0; wait "$PID_B" || rc=$?
+[ "$rc" = "0" ] || { echo "node b exited $rc after SIGTERM, want 0" >&2; exit 1; }
+trap - EXIT
+echo "cluster smoke: OK"
