@@ -91,23 +91,8 @@ func (a *Admission) Admit(tenant string) (release func(), retryAfter time.Durati
 	a.mu.Lock()
 	defer a.mu.Unlock()
 
-	ts := a.tenants[tenant]
-	if ts == nil {
-		if len(a.tenants) >= maxTenants && !a.evictIdleLocked() {
-			tenant = overflowTenant
-			ts = a.tenants[tenant]
-		}
-		if ts == nil {
-			ts = &tenantState{tokens: a.pol.burst(), last: a.now()}
-			a.tenants[tenant] = ts
-		}
-	}
-
-	now := a.now()
-	if a.pol.Rate > 0 {
-		ts.tokens = math.Min(a.pol.burst(), ts.tokens+now.Sub(ts.last).Seconds()*a.pol.Rate)
-	}
-	ts.last = now
+	ts, tenant := a.stateLocked(tenant)
+	a.refillLocked(ts)
 
 	if a.pol.MaxInFlight > 0 && ts.inflight >= a.pol.MaxInFlight {
 		a.sheds[tenant]++
@@ -132,6 +117,57 @@ func (a *Admission) Admit(tenant string) (release func(), retryAfter time.Durati
 			a.mu.Unlock()
 		})
 	}, 0, true
+}
+
+// Charge debits extra tokens from a tenant's rate bucket, beyond the one
+// Admit took on arrival. The sweep coordinator uses it to weight a /sweep
+// by its expanded size — one token per dispatched sub-grid — so a grid of
+// thousands of points cannot ride through admission at the cost of a
+// single /run. The debit may drive the bucket negative (work debt): the
+// already-admitted sweep still runs, even one larger than the burst
+// capacity, but the tenant's subsequent arrivals are shed until the debt
+// amortizes at the configured rate.
+func (a *Admission) Charge(tenant string, tokens int) {
+	if a == nil || a.pol.Rate <= 0 || tokens <= 0 {
+		return
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ts, _ := a.stateLocked(tenant)
+	a.refillLocked(ts)
+	ts.tokens -= float64(tokens)
+}
+
+// stateLocked resolves a tenant name to its bucket, creating it (or
+// falling back to the overflow bucket at the table cap) as needed. It
+// returns the possibly-remapped name so callers charge the bucket they
+// actually got.
+func (a *Admission) stateLocked(tenant string) (*tenantState, string) {
+	ts := a.tenants[tenant]
+	if ts == nil {
+		if len(a.tenants) >= maxTenants && !a.evictIdleLocked() {
+			tenant = overflowTenant
+			ts = a.tenants[tenant]
+		}
+		if ts == nil {
+			ts = &tenantState{tokens: a.pol.burst(), last: a.now()}
+			a.tenants[tenant] = ts
+		}
+	}
+	return ts, tenant
+}
+
+// refillLocked accrues tokens for the time since the bucket was last
+// touched, capped at the burst capacity.
+func (a *Admission) refillLocked(ts *tenantState) {
+	now := a.now()
+	if a.pol.Rate > 0 {
+		ts.tokens = math.Min(a.pol.burst(), ts.tokens+now.Sub(ts.last).Seconds()*a.pol.Rate)
+	}
+	ts.last = now
 }
 
 // evictIdleLocked drops one tenant with a full bucket and nothing in

@@ -9,9 +9,9 @@ import (
 // fakeClock is an injectable clock for admission tests.
 type fakeClock struct{ t time.Time }
 
-func (c *fakeClock) now() time.Time                 { return c.t }
-func (c *fakeClock) advance(d time.Duration)        { c.t = c.t.Add(d) }
-func newFakeClock() *fakeClock                      { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
 func testAdmission(pol TenantPolicy) (*Admission, *fakeClock) {
 	a := NewAdmission(pol)
 	clk := newFakeClock()
@@ -84,6 +84,48 @@ func TestAdmissionInFlight(t *testing.T) {
 		t.Fatal("double release freed two slots")
 	}
 	r2()
+}
+
+// TestAdmissionChargeDebt: Charge debits beyond the burst (work debt), so
+// a tenant that just paid for a large sweep is shed until the debt
+// amortizes at the configured rate — but the charge itself never rejects,
+// so work larger than the burst stays runnable.
+func TestAdmissionChargeDebt(t *testing.T) {
+	a, clk := testAdmission(TenantPolicy{Rate: 1, Burst: 5})
+
+	release, _, ok := a.Admit("hot") // 5 tokens -> 4
+	if !ok {
+		t.Fatal("first request was shed")
+	}
+	release()
+	a.Charge("hot", 10) // 4 tokens -> -6: deeper than the burst allows
+
+	_, retryAfter, ok := a.Admit("hot")
+	if ok {
+		t.Fatal("tenant in work debt was admitted")
+	}
+	if retryAfter < 7*time.Second {
+		t.Errorf("retryAfter = %v, want >= 7s (6 tokens of debt plus the next whole token)", retryAfter)
+	}
+	clk.advance(7 * time.Second) // -6 + 7 = 1 token
+	if release, _, ok := a.Admit("hot"); !ok {
+		t.Fatal("tenant still shed after the debt amortized")
+	} else {
+		release()
+	}
+
+	// Charge is a no-op without rate limiting, for zero weight, and on a
+	// nil Admission.
+	b, _ := testAdmission(TenantPolicy{MaxInFlight: 1})
+	b.Charge("t", 100)
+	if release, _, ok := b.Admit("t"); !ok {
+		t.Fatal("Charge debited a tenant despite rate limiting being disabled")
+	} else {
+		release()
+	}
+	a.Charge("hot", 0)
+	var nilA *Admission
+	nilA.Charge("t", 5)
 }
 
 // TestAdmissionDisabled: a zero policy (and a nil Admission) admits

@@ -116,6 +116,15 @@ func New(opts Options, srvOpts service.Options) (*Node, error) {
 		return nil, fmt.Errorf("cluster: self ID %q is not in the membership", opts.Self)
 	}
 
+	if ring.Size() > 1 && opts.PeerToken == "" {
+		// Without a token the forwarded flag is unauthenticated, and any
+		// client that sets it skips per-tenant admission. Acceptable on a
+		// trusted network, silent nowhere.
+		opts.Logger.Warn("cluster: multi-node deployment without a peer token; clients that set "+
+			HeaderForwarded+" bypass tenant admission — configure -peer-token outside trusted networks",
+			"members", ring.Size())
+	}
+
 	n := &Node{
 		opts:    opts,
 		self:    self,
@@ -311,6 +320,11 @@ func strictUnmarshal(body []byte, dst any) error {
 	return dec.Decode(dst)
 }
 
+// statusClientClosedRequest is the nginx-conventional status for "the
+// caller went away before an answer existed" — not an RFC code, but the
+// widely understood vocabulary for it in proxy logs.
+const statusClientClosedRequest = 499
+
 // forward relays the request to its owning peer and the peer's answer —
 // whatever it is, a 200 as much as a 429 with Retry-After — back to the
 // caller. It reports false when the peer is unreachable after retries, in
@@ -327,6 +341,16 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, bod
 	}
 	status, respBody, respHdr, err := fwd.PostRaw(r.Context(), r.URL.Path, body)
 	if err != nil {
+		if ctxErr := r.Context().Err(); ctxErr != nil {
+			// The caller ended the request (disconnect or client-side
+			// deadline) mid-forward: that says nothing about the peer's
+			// health, so it must not be marked dead — one impatient client
+			// must never shrink the ring. Same guard the sweep dispatch
+			// path applies before its MarkDead.
+			n.writeError(w, statusClientClosedRequest,
+				fmt.Errorf("cluster: request canceled while forwarding to %s: %w", owner.ID, ctxErr))
+			return true
+		}
 		n.peerErrors.Add(1)
 		n.log.Warn("cluster: forward failed; serving locally", "peer", owner.ID, "path", r.URL.Path, "err", err)
 		n.MarkDead(owner.ID)

@@ -288,6 +288,115 @@ func TestClusterSweepHealsAroundDeadNode(t *testing.T) {
 	}
 }
 
+// TestClusterForwardClientCancelKeepsPeerAlive: a caller that disconnects
+// (or times out client-side) while its request is being forwarded says
+// nothing about the peer's health — the peer must stay in the ring and no
+// peer error be counted, or one impatient client would permanently shrink
+// the edge node's ring view.
+func TestClusterForwardClientCancelKeepsPeerAlive(t *testing.T) {
+	// Long peer backoff so the caller can cancel while the forward is
+	// still mid-retry against an unreachable owner.
+	tc := startCluster(t, 2, Options{PeerAttempts: 3, PeerBaseDelay: 300 * time.Millisecond})
+
+	key, err := service.RunKey(testRunReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := tc.nodes[0].Ring().Owner(key)
+	edge := 0
+	if tc.nodes[edge].self.ID == owner.ID {
+		edge = 1
+	}
+	tc.kill(1 - edge)
+
+	b, err := json.Marshal(testRunReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, tc.addrs[edge]+"/run", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("canceled request unexpectedly succeeded client-side")
+	}
+
+	// Let the server-side handler observe the cancellation and unwind.
+	time.Sleep(500 * time.Millisecond)
+	if !tc.nodes[edge].Ring().Has(owner.ID) {
+		t.Errorf("caller cancellation mid-forward marked peer %s dead", owner.ID)
+	}
+	if _, _, peerErrs := tc.nodes[edge].Counters(); peerErrs != 0 {
+		t.Errorf("peerErrors = %d after caller cancellation, want 0", peerErrs)
+	}
+}
+
+// TestClusterSweepWeightedAdmission: a sweep is charged by its expanded
+// size — one token per StealChunk-sized sub-grid — so a large grid cannot
+// ride through per-tenant admission at the price of a single /run.
+func TestClusterSweepWeightedAdmission(t *testing.T) {
+	// Burst 6 at a negligible refill rate: a sweep expanding to 12 points
+	// with StealChunk 2 costs 6 tokens, draining the bucket — a flat
+	// per-request charge would have left 5 behind.
+	tc := startCluster(t, 1, Options{
+		Tenant:     TenantPolicy{Rate: 0.001, Burst: 6},
+		StealChunk: 2,
+	})
+
+	sweep := service.SweepRequest{
+		Workload: service.WorkloadSpec{Name: "fig21", N: 24},
+		Scheme:   service.SchemeSpec{Name: "process"},
+		Grid:     service.SweepGrid{X: []int{2, 4}, P: []int{2, 4}, Chunk: []int64{1, 2, 4}},
+	}
+	resp, body := postNode(t, tc.addrs[0], "/sweep", sweep, map[string]string{HeaderTenant: "hot"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep within budget: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = postNode(t, tc.addrs[0], "/run", testRunReq, map[string]string{HeaderTenant: "hot"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("/run after a 12-point sweep: %d, want 429 (sweeps must be charged by size)", resp.StatusCode)
+	}
+	// The sweep's work debt is the hot tenant's problem alone.
+	resp, body = postNode(t, tc.addrs[0], "/run", testRunReq, map[string]string{HeaderTenant: "cool"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cool tenant after hot tenant's sweep: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestClusterNoTokenWarning: a multi-node cluster without a peer token
+// silently loses forwarded-flag authentication, so construction must say
+// so; single-node and token-configured clusters must not cry wolf.
+func TestClusterNoTokenWarning(t *testing.T) {
+	members := []Member{
+		{ID: "a", Addr: "http://127.0.0.1:1"},
+		{ID: "b", Addr: "http://127.0.0.1:2"},
+	}
+	build := func(opts Options) string {
+		var buf bytes.Buffer
+		logger := slog.New(slog.NewTextHandler(&buf, nil))
+		opts.Logger = logger
+		node, err := New(opts, service.Options{Workers: 1, Logger: logger})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Server().Drain(context.Background())
+		return buf.String()
+	}
+
+	if logs := build(Options{Self: "a", Members: members}); !strings.Contains(logs, "peer token") {
+		t.Errorf("multi-node cluster without a peer token did not warn: %q", logs)
+	}
+	if logs := build(Options{Self: "a", Members: members, PeerToken: "s3cret"}); strings.Contains(logs, "peer token") {
+		t.Errorf("token-configured cluster warned anyway: %q", logs)
+	}
+	if logs := build(Options{Self: "solo"}); strings.Contains(logs, "peer token") {
+		t.Errorf("single-node cluster warned about peer tokens: %q", logs)
+	}
+}
+
 // TestClusterTenantShed: a hot tenant exhausting its bucket gets 429s with
 // Retry-After while the breaker stays closed and other tenants keep
 // working — admission failures are tenant problems, not service problems.

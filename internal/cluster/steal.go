@@ -55,10 +55,6 @@ func (n *Node) coordinateSweep(w http.ResponseWriter, r *http.Request, inner htt
 	}
 	r.Body = io.NopCloser(bytes.NewReader(body))
 
-	if n.ring.Load().Size() == 1 {
-		n.serveLocal(w, r, inner)
-		return
-	}
 	var req service.SweepRequest
 	if err := strictUnmarshal(body, &req); err != nil {
 		n.serveLocal(w, r, inner)
@@ -72,6 +68,19 @@ func (n *Node) coordinateSweep(w http.ResponseWriter, r *http.Request, inner htt
 	}
 	sels, keys, err := service.SweepPointKeys(req)
 	if err != nil {
+		n.serveLocal(w, r, inner)
+		return
+	}
+
+	// Weight admission by the sweep's expanded size: the middleware charged
+	// one token on arrival; charge the rest — one per StealChunk-sized
+	// sub-grid — so a maxSweepPoints grid cannot ride through per-tenant
+	// admission at the cost of a single /run.
+	if extra := (len(sels)+n.opts.StealChunk-1)/n.opts.StealChunk - 1; extra > 0 {
+		n.adm.Charge(r.Header.Get(HeaderTenant), extra)
+	}
+
+	if n.ring.Load().Size() == 1 {
 		n.serveLocal(w, r, inner)
 		return
 	}
