@@ -18,6 +18,13 @@
 // merged Pareto front checked against a single-node oracle, and a hot
 // tenant shed by admission without opening the circuit breaker.
 //
+// With -membership it boots the same in-process cluster with active
+// failure probing, K-successor replication and drain handoff enabled, and
+// verifies the self-healing cycle: a killed owner is demoted and its keys
+// served byte-identically from a replica, a restarted node is readmitted
+// within the probe window, and a gracefully drained node hands its cache
+// to the next owners so the keys stay warm cross-node hits.
+//
 // Exit status 0 means the probed cycle was observed; any deviation is one
 // line on stderr and exit 1. The smoke script runs both modes against a
 // short-cooldown server.
@@ -47,11 +54,16 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "overall probe budget")
 	halt := flag.Bool("halt", false, "probe the self-healing path (halt -> reclaim -> recovered success) instead of the breaker cycle")
 	clusterMode := flag.Bool("cluster", false, "probe an in-process 3-node cluster (forwarding, mid-sweep node loss, tenant shedding) instead of the breaker cycle")
+	membershipMode := flag.Bool("membership", false, "probe self-healing membership in an in-process 3-node cluster (kill -> replica serve -> rejoin -> drain handoff) instead of the breaker cycle")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	if *membershipMode {
+		probeMembership(ctx)
+		return
+	}
 	if *clusterMode {
 		probeCluster(ctx)
 		return

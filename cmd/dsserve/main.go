@@ -56,6 +56,11 @@ func main() {
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant sustained request rate in req/s (0: no rate limit)")
 	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant burst capacity (default ceil(rate))")
 	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant in-flight request cap (0: no cap)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer liveness probe period (0: no active probing, membership changes only on transport errors)")
+	suspectAfter := flag.Int("suspect-after", 3, "consecutive probe failures that demote a suspect peer")
+	rejoinAfter := flag.Int("rejoin-after", 2, "consecutive probe successes that readmit a demoted peer")
+	drainHandoff := flag.Bool("drain-handoff", true, "on shutdown, stream cache entries to their next owners before draining")
+	replicas := flag.Int("replicas", 1, "ring-successors each cache fill is replicated to (0: no replication)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -74,6 +79,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The library uses negative to disable and 0 for the default; the flag's
+	// friendlier contract is 0 = off.
+	replicaOpt := *replicas
+	if replicaOpt <= 0 {
+		replicaOpt = -1
+	}
 	node, err := cluster.New(cluster.Options{
 		Self:       self.ID,
 		Members:    append(peers, self),
@@ -84,7 +95,11 @@ func main() {
 			Burst:       *tenantBurst,
 			MaxInFlight: *tenantInflight,
 		},
-		Logger: log,
+		ProbeInterval: *probeInterval,
+		SuspectAfter:  *suspectAfter,
+		RejoinAfter:   *rejoinAfter,
+		Replicas:      replicaOpt,
+		Logger:        log,
 	}, service.Options{
 		Workers:          *workers,
 		QueueCap:         *queue,
@@ -132,6 +147,12 @@ func main() {
 		service.Fatal(os.Stderr, "dsserve", err)
 		os.Exit(1)
 	}
+	if *drainHandoff {
+		rep := node.DrainHandoff(shutCtx)
+		log.Info("drain handoff", "peers", rep.Peers, "entries", rep.Entries,
+			"bytes", rep.Bytes, "batches", rep.Batches, "failedBatches", rep.FailedBatches)
+	}
+	node.Stop()
 	if err := srv.Drain(shutCtx); err != nil && !errors.Is(err, context.Canceled) {
 		service.Fatal(os.Stderr, "dsserve", err)
 		os.Exit(1)

@@ -13,6 +13,7 @@ import (
 	"container/list"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"sync"
 )
 
@@ -21,6 +22,22 @@ type Key [32]byte
 
 // String renders the key as lowercase hex.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey decodes the hex rendering String produces. The cluster layer's
+// cache-transfer protocol carries keys this way (entries travel as JSON),
+// and the receiver needs the binary key back to place the entry on the ring.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("cache: parse key %q: %w", s, err)
+	}
+	if len(b) != len(k) {
+		return k, fmt.Errorf("cache: parse key %q: %d bytes, want %d", s, len(b), len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
 
 // Ring returns the key's coordinate on a 64-bit consistent-hash ring: the
 // first 8 bytes of the SHA-256 content address, big-endian. The canonical
@@ -124,6 +141,45 @@ func (c *Cache) Do(k Key, fn func() (any, error)) (val any, hit bool, err error)
 	c.mu.Unlock()
 	close(fl.done)
 	return fl.val, false, fl.err
+}
+
+// Peek returns the cached value for the key without touching the LRU order
+// or the hit/miss counters. The cluster layer uses it for replica-hit
+// accounting and cache export: observation must not distort effectiveness
+// statistics or recency.
+func (c *Cache) Peek(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		return el.Value.(*entry).val, true
+	}
+	return nil, false
+}
+
+// Put stores a value directly, bypassing singleflight. Handed-off and
+// replicated entries arrive this way: the value was computed (and content-
+// addressed) elsewhere, so there is nothing to deduplicate. An existing
+// entry is overwritten — determinism makes any two values under one key
+// semantically identical.
+func (c *Cache) Put(k Key, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store(k, v)
+}
+
+// Range calls f for every stored entry, most recently used first, over a
+// snapshot taken under the lock (f itself runs without it, so it may call
+// back into the cache). In-flight computations are not included.
+func (c *Cache) Range(f func(k Key, v any)) {
+	c.mu.Lock()
+	snap := make([]entry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		snap = append(snap, *el.Value.(*entry))
+	}
+	c.mu.Unlock()
+	for _, e := range snap {
+		f(e.key, e.val)
+	}
 }
 
 // store inserts a value under the lock, evicting the LRU tail past capacity.

@@ -152,3 +152,105 @@ func TestConcurrentMixedKeys(t *testing.T) {
 		t.Errorf("cache grew past capacity: %d entries", c.Len())
 	}
 }
+
+// TestParseKeyRoundTrip: ParseKey inverts String exactly and rejects
+// malformed hex and wrong lengths.
+func TestParseKeyRoundTrip(t *testing.T) {
+	k := keyOf("round-trip")
+	got, err := ParseKey(k.String())
+	if err != nil || got != k {
+		t.Fatalf("ParseKey(String) = %v, %v; want the original key", got, err)
+	}
+	for _, bad := range []string{"", "zz", "abcd", k.String() + "00", "g" + k.String()[1:]} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestPeekDoesNotTouchStats: Peek observes without moving LRU order or
+// counting a hit/miss — observation must not distort effectiveness stats.
+func TestPeekDoesNotTouchStats(t *testing.T) {
+	c := New(2)
+	c.Put(keyOf("a"), 1)
+	c.Put(keyOf("b"), 2)
+
+	if v, ok := c.Peek(keyOf("a")); !ok || v.(int) != 1 {
+		t.Fatalf("Peek(a) = %v, %v", v, ok)
+	}
+	if _, ok := c.Peek(keyOf("absent")); ok {
+		t.Fatal("Peek found an absent key")
+	}
+	st := c.Snapshot()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("Peek counted hits/misses: %+v", st)
+	}
+
+	// "a" was peeked but not touched: it is still the LRU tail, so a third
+	// insert evicts it, not "b".
+	c.Put(keyOf("c"), 3)
+	if _, ok := c.Peek(keyOf("a")); ok {
+		t.Error("peeked key was promoted to recently-used")
+	}
+	if _, ok := c.Peek(keyOf("b")); !ok {
+		t.Error("recently-stored key was evicted instead of the peeked one")
+	}
+}
+
+// TestPutOverwritesAndRange: Put stores directly (the handoff/replication
+// path), overwrites in place, and Range walks a most-recent-first snapshot
+// that tolerates concurrent mutation from the callback.
+func TestPutOverwritesAndRange(t *testing.T) {
+	c := New(4)
+	c.Put(keyOf("x"), 1)
+	c.Put(keyOf("y"), 2)
+	c.Put(keyOf("x"), 10) // overwrite, also moves x to the front
+
+	var got []any
+	var first Key
+	i := 0
+	c.Range(func(k Key, v any) {
+		if i == 0 {
+			first = k
+		}
+		i++
+		got = append(got, v)
+		c.Put(keyOf(fmt.Sprintf("from-range-%d", i)), i) // reentrant: must not deadlock
+	})
+	if len(got) != 2 {
+		t.Fatalf("Range visited %d entries, want 2", len(got))
+	}
+	if first != keyOf("x") {
+		t.Error("Range did not walk most-recently-used first")
+	}
+	if v, ok := c.Peek(keyOf("x")); !ok || v.(int) != 10 {
+		t.Errorf("Put overwrite: Peek(x) = %v, %v, want 10", v, ok)
+	}
+	if c.Len() != 4 {
+		t.Errorf("cache holds %d entries after reentrant puts, want 4 (capacity)", c.Len())
+	}
+}
+
+// TestRangeConcurrentWithPut: Range's snapshot protects readers from the
+// in-place value overwrite Put performs (race detector coverage).
+func TestRangeConcurrentWithPut(t *testing.T) {
+	c := New(8)
+	for i := 0; i < 8; i++ {
+		c.Put(keyOf(fmt.Sprintf("k%d", i)), i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.Put(keyOf(fmt.Sprintf("k%d", i%8)), i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			c.Range(func(k Key, v any) { _ = v.(int) })
+		}
+	}()
+	wg.Wait()
+}

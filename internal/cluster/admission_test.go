@@ -206,3 +206,124 @@ func TestAdmissionCardinalityBound(t *testing.T) {
 		release()
 	}
 }
+
+// TestAdmissionIdleEvictionRecreatesFreshBucket: at the table cap, an idle
+// tenant whose bucket has refilled to full is evicted for a new name — and
+// when the evicted tenant comes back, it gets a fresh full bucket, because
+// an idle-full bucket is indistinguishable from a fresh one (eviction can
+// never grant or remove budget).
+func TestAdmissionIdleEvictionRecreatesFreshBucket(t *testing.T) {
+	a, clk := testAdmission(TenantPolicy{Rate: 1, Burst: 2})
+
+	// Drain the victim to zero tokens, then let it go idle.
+	for i := 0; i < 2; i++ {
+		release, _, ok := a.Admit("victim")
+		if !ok {
+			t.Fatalf("victim request %d within burst was shed", i)
+		}
+		release()
+	}
+
+	// Fill the rest of the table with tenants held in flight: inflight > 0
+	// makes them unevictable regardless of tokens.
+	var releases []func()
+	for i := len(a.tenants); i < maxTenants; i++ {
+		release, _, ok := a.Admit(fmt.Sprintf("held-%d", i))
+		if !ok {
+			t.Fatalf("tenant %d shed while filling the table", i)
+		}
+		releases = append(releases, release)
+	}
+
+	// The victim's bucket refills to full while idle: now evictable.
+	clk.advance(5 * time.Second)
+
+	// A new name at the cap evicts the victim and gets its own bucket —
+	// not the overflow bucket.
+	release, _, ok := a.Admit("newcomer")
+	if !ok {
+		t.Fatal("newcomer shed despite an evictable idle slot")
+	}
+	if a.tenants["victim"] != nil {
+		t.Fatal("idle-full victim survived eviction at the table cap")
+	}
+	if a.tenants["newcomer"] == nil {
+		t.Fatal("newcomer was remapped to overflow despite an evictable slot")
+	}
+	release()
+
+	// The evicted victim returns: once another idle-full slot exists, its
+	// next request re-creates a fresh bucket with the full burst.
+	clk.advance(5 * time.Second) // newcomer refills to full, becomes evictable
+	for i := 0; i < 2; i++ {
+		release, _, ok := a.Admit("victim")
+		if !ok {
+			t.Fatalf("evicted victim's request %d was shed; want a fresh full bucket", i)
+		}
+		release()
+	}
+	if a.tenants["victim"] == nil {
+		t.Fatal("victim's return did not re-create its bucket")
+	}
+
+	for _, r := range releases {
+		r()
+	}
+}
+
+// TestAdmissionOverflowFallbackUnderRatePolicy: under the injectable clock
+// with a rate policy, a table at the cap whose buckets are all freshly
+// drained (nothing idle-full, nothing evictable) routes new tenant names
+// to the shared overflow bucket, whose sheds are attributed to it.
+func TestAdmissionOverflowFallbackUnderRatePolicy(t *testing.T) {
+	a, clk := testAdmission(TenantPolicy{Rate: 1, Burst: 1})
+
+	// Every bucket is drained at the same instant: no idle-full slot exists.
+	for i := 0; i < maxTenants; i++ {
+		release, _, ok := a.Admit(fmt.Sprintf("t-%d", i))
+		if !ok {
+			t.Fatalf("tenant %d shed while filling the table", i)
+		}
+		release()
+	}
+
+	// A fresh name cannot evict anything and lands in the overflow bucket.
+	release, _, ok := a.Admit("fresh-a")
+	if !ok {
+		t.Fatal("first overflow request shed (overflow bucket starts full)")
+	}
+	release()
+	if a.tenants["fresh-a"] != nil {
+		t.Fatal("fresh tenant got its own bucket past the cap with nothing evictable")
+	}
+	if a.tenants[overflowTenant] == nil {
+		t.Fatal("overflow bucket was not created")
+	}
+
+	// The next fresh name shares the (now drained) overflow bucket, and the
+	// shed is attributed to the overflow tenant.
+	if _, _, ok := a.Admit("fresh-b"); ok {
+		t.Fatal("second overflow tenant did not share the overflow bucket's quota")
+	}
+	foundOverflowShed := false
+	for _, s := range a.Sheds() {
+		if s.Tenant == overflowTenant && s.Shed >= 1 {
+			foundOverflowShed = true
+		}
+	}
+	if !foundOverflowShed {
+		t.Errorf("sheds %+v missing the overflow tenant's count", a.Sheds())
+	}
+
+	// Time passes, the per-tenant buckets refill and become evictable: a
+	// fresh name escapes the overflow bucket and gets its own again.
+	clk.advance(2 * time.Second)
+	release, _, ok = a.Admit("fresh-c")
+	if !ok {
+		t.Fatal("fresh tenant shed after slots became evictable")
+	}
+	release()
+	if a.tenants["fresh-c"] == nil {
+		t.Fatal("fresh tenant stayed in overflow after slots became evictable")
+	}
+}

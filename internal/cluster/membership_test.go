@@ -1,0 +1,536 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/cache"
+	"github.com/csrd-repro/datasync/internal/service"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+// restart re-listens on node i's original address and serves its handler
+// again — the in-process analogue of restarting a crashed dsserve on the
+// same host:port.
+func (tc *testCluster) restart(t *testing.T, i int) {
+	t.Helper()
+	addr := strings.TrimPrefix(tc.addrs[i], "http://")
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	hs := &http.Server{Handler: tc.nodes[i].Handler()}
+	go hs.Serve(ln)
+	tc.servers[i] = hs
+}
+
+// quietNode builds a standalone Node (no HTTP listener) for state-machine
+// tests; probing and replication loops are off unless opts enables them.
+func quietNode(t *testing.T, opts Options, members []Member) *Node {
+	t.Helper()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	opts.Members = members
+	opts.Logger = quiet
+	n, err := New(opts, service.Options{Workers: 1, Logger: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		n.Stop()
+		n.Server().Drain(context.Background())
+	})
+	return n
+}
+
+// TestClusterKillReplicaServeRestartRejoin is the acceptance scenario: a
+// 3-node cluster loses a node, serves that node's key from the replica its
+// successor holds — byte-identical to the pre-kill cached response, no
+// recompute — then the node comes back and rejoins the ring with no other
+// process restarted.
+func TestClusterKillReplicaServeRestartRejoin(t *testing.T) {
+	tc := startCluster(t, 3, Options{
+		PeerToken:      "s3cret",
+		ProbeInterval:  25 * time.Millisecond,
+		SuspectAfter:   2,
+		RejoinAfter:    2,
+		DemoteCooldown: -1, // probes drive every transition in this test
+	})
+
+	key, err := service.RunKey(testRunReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tc.nodes[0].full
+	owner := full.Owner(key)
+	succs := full.Successors(key, 1)
+	if len(succs) != 1 {
+		t.Fatalf("successors = %v, want exactly 1", succs)
+	}
+	victimIdx, succIdx := -1, -1
+	var survivors []int
+	for i, n := range tc.nodes {
+		switch n.self.ID {
+		case owner.ID:
+			victimIdx = i
+		case succs[0].ID:
+			succIdx = i
+		}
+		if n.self.ID != owner.ID {
+			survivors = append(survivors, i)
+		}
+	}
+	if victimIdx < 0 || succIdx < 0 {
+		t.Fatalf("owner %s / successor %s not found among nodes", owner.ID, succs[0].ID)
+	}
+
+	// Fill the key on its owner, then fetch the canonical cached bytes.
+	resp, body := postNode(t, tc.addrs[victimIdx], "/run", testRunReq, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fill: %d %s", resp.StatusCode, body)
+	}
+	resp, cachedBody := postNode(t, tc.addrs[victimIdx], "/run", testRunReq, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached fetch: %d %s", resp.StatusCode, cachedBody)
+	}
+	var cached service.RunResponse
+	if err := json.Unmarshal(cachedBody, &cached); err != nil {
+		t.Fatal(err)
+	}
+	if !cached.Cached {
+		t.Fatal("second fetch on the owner was not a cache hit")
+	}
+
+	// K-successor replication lands the entry on the successor.
+	waitFor(t, 5*time.Second, func() bool {
+		return tc.nodes[succIdx].Server().CacheHas(key)
+	}, "replica push to the successor")
+
+	// Kill the owner; the survivors' probes demote it.
+	tc.kill(victimIdx)
+	for _, i := range survivors {
+		i := i
+		waitFor(t, 5*time.Second, func() bool {
+			return tc.nodes[i].PeerState(owner.ID) == "demoted"
+		}, fmt.Sprintf("%s demoting %s", tc.nodes[i].self.ID, owner.ID))
+	}
+	if live := tc.nodes[succIdx].Ring(); live.Owner(key).ID != succs[0].ID {
+		t.Fatalf("post-demotion live owner = %s, want successor %s", live.Owner(key).ID, succs[0].ID)
+	}
+
+	// The successor serves the dead owner's key from its replica: same
+	// bytes, no recompute, replica-hit counted.
+	beforeHits := tc.nodes[succIdx].Membership().ReplicaHits
+	resp, replicaBody := postNode(t, tc.addrs[succIdx], "/run", testRunReq, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica serve: %d %s", resp.StatusCode, replicaBody)
+	}
+	if got := resp.Header.Get(HeaderNode); got != succs[0].ID {
+		t.Errorf("replica response served by %q, want successor %s", got, succs[0].ID)
+	}
+	if !bytes.Equal(replicaBody, cachedBody) {
+		t.Errorf("replica response bytes differ from the pre-kill cached response:\npre-kill: %s\nreplica:  %s", cachedBody, replicaBody)
+	}
+	if got := tc.nodes[succIdx].Membership().ReplicaHits; got != beforeHits+1 {
+		t.Errorf("successor replicaHits = %d, want %d", got, beforeHits+1)
+	}
+
+	// Restart the victim on its original address: the survivors' probes
+	// readmit it without any other process restarting.
+	tc.restart(t, victimIdx)
+	for _, i := range survivors {
+		i := i
+		waitFor(t, 5*time.Second, func() bool {
+			return tc.nodes[i].PeerState(owner.ID) == "alive"
+		}, fmt.Sprintf("%s readmitting %s", tc.nodes[i].self.ID, owner.ID))
+	}
+	for _, i := range survivors {
+		if got := tc.nodes[i].Ring().Version(); got != full.Version() {
+			t.Errorf("%s ring version %s after rejoin, want the full membership's %s",
+				tc.nodes[i].self.ID, got, full.Version())
+		}
+		if ms := tc.nodes[i].Membership(); ms.Rejoins < 1 || ms.Demotions < 1 {
+			t.Errorf("%s rejoins=%d demotions=%d, want both >= 1", tc.nodes[i].self.ID, ms.Rejoins, ms.Demotions)
+		}
+	}
+
+	// Forwards reach the restarted node again.
+	resp, body = postNode(t, tc.addrs[survivors[0]], "/run", testRunReq, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-rejoin fetch: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(HeaderNode); got != owner.ID {
+		t.Errorf("post-rejoin request served by %q, want the restarted owner %s", got, owner.ID)
+	}
+	if !bytes.Equal(body, cachedBody) {
+		t.Errorf("post-rejoin response bytes differ from the original cached response")
+	}
+}
+
+// TestClusterDrainHandoffWarmHitRate: after a drain handoff, at least 90%
+// of the drained node's cache entries answer as hits on their new owners.
+// Replication is disabled to prove the handoff alone carries the cache.
+func TestClusterDrainHandoffWarmHitRate(t *testing.T) {
+	tc := startCluster(t, 3, Options{PeerToken: "s3cret", Replicas: -1})
+
+	full := tc.nodes[0].full
+	var reqs []service.RunRequest
+	var keys []cache.Key
+	for n := int64(8); len(reqs) < 10 && n < 400; n += 4 {
+		req := testRunReq
+		req.Workload.N = n
+		k, err := service.RunKey(req)
+		if err != nil {
+			continue
+		}
+		if full.Owner(k).ID == "n0" {
+			reqs = append(reqs, req)
+			keys = append(keys, k)
+		}
+	}
+	if len(reqs) < 10 {
+		t.Fatalf("found only %d keys owned by n0; enlarge the search range", len(reqs))
+	}
+
+	for i, req := range reqs {
+		resp, body := postNode(t, tc.addrs[0], "/run", req, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fill %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+
+	rep := tc.nodes[0].DrainHandoff(context.Background())
+	if rep.Entries < len(reqs) {
+		t.Fatalf("handoff delivered %d entries, want >= %d (report %+v)", rep.Entries, len(reqs), rep)
+	}
+	if rep.FailedBatches != 0 {
+		t.Errorf("handoff lost %d batches with all peers up", rep.FailedBatches)
+	}
+
+	// The departure announcement demoted n0 everywhere (drain cause).
+	for _, i := range []int{1, 2} {
+		if got := tc.nodes[i].PeerState("n0"); got != "demoted" {
+			t.Errorf("%s holds n0 %q after its departure announcement, want demoted", tc.nodes[i].self.ID, got)
+		}
+	}
+
+	rest, err := full.Without("n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i, req := range reqs {
+		newOwnerID := rest.Owner(keys[i]).ID
+		idx := -1
+		for j, n := range tc.nodes {
+			if n.self.ID == newOwnerID {
+				idx = j
+			}
+		}
+		resp, body := postNode(t, tc.addrs[idx], "/run", req, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-handoff fetch %d: %d %s", i, resp.StatusCode, body)
+		}
+		var rr service.RunResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Cached {
+			hits++
+		}
+	}
+	if hits*10 < len(reqs)*9 {
+		t.Errorf("warm hit rate %d/%d after handoff, want >= 90%%", hits, len(reqs))
+	}
+	recv := tc.nodes[1].Membership().HandoffRecvEntries + tc.nodes[2].Membership().HandoffRecvEntries
+	if recv < int64(len(reqs)) {
+		t.Errorf("survivors imported %d entries, want >= %d", recv, len(reqs))
+	}
+}
+
+// TestProbeStateMachine drives the suspect→confirm→rejoin transitions
+// against a stub peer whose /healthz behaviour the test switches.
+func TestProbeStateMachine(t *testing.T) {
+	var identity sync.Map // "node" -> string served as the peer's identity
+	identity.Store("node", "b")
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, _ := identity.Load("node")
+		json.NewEncoder(w).Encode(map[string]any{"node": id})
+	}))
+	defer stub.Close()
+
+	members := []Member{{ID: "a", Addr: "http://127.0.0.1:1"}, {ID: "b", Addr: stub.URL}}
+	n := quietNode(t, Options{Self: "a", SuspectAfter: 2, RejoinAfter: 2, DemoteCooldown: -1, Replicas: -1}, members)
+	b := members[1]
+
+	if got := n.PeerState("b"); got != "alive" {
+		t.Fatalf("initial state %q, want alive", got)
+	}
+
+	// Identity mismatch is a probe failure: an address answering as the
+	// wrong node must not keep the member alive.
+	identity.Store("node", "imposter")
+	n.probeOne(b)
+	if got := n.PeerState("b"); got != "suspect" {
+		t.Fatalf("after 1 failure: %q, want suspect", got)
+	}
+	if n.Ring().Size() != 2 {
+		t.Fatal("suspicion alone changed the live ring")
+	}
+	n.probeOne(b)
+	if got := n.PeerState("b"); got != "demoted" {
+		t.Fatalf("after SuspectAfter failures: %q, want demoted", got)
+	}
+	if n.Ring().Size() != 1 {
+		t.Fatal("demotion did not shrink the live ring")
+	}
+
+	// Recovery: RejoinAfter consecutive successes readmit.
+	identity.Store("node", "b")
+	n.probeOne(b)
+	if got := n.PeerState("b"); got != "demoted" {
+		t.Fatalf("one success readmitted early: %q", got)
+	}
+	n.probeOne(b)
+	if got := n.PeerState("b"); got != "alive" {
+		t.Fatalf("after RejoinAfter successes: %q, want alive", got)
+	}
+	if n.Ring().Size() != 2 {
+		t.Fatal("readmission did not restore the live ring")
+	}
+	ms := n.Membership()
+	if ms.Probes != 4 || ms.ProbeFailures != 2 || ms.Demotions != 1 || ms.Rejoins != 1 {
+		t.Errorf("counters %+v, want probes=4 failures=2 demotions=1 rejoins=1", ms)
+	}
+
+	// A suspect peer that recovers before confirmation resets cleanly.
+	identity.Store("node", "nobody")
+	n.probeOne(b)
+	identity.Store("node", "b")
+	n.probeOne(b)
+	if got := n.PeerState("b"); got != "alive" {
+		t.Fatalf("suspect that recovered: %q, want alive", got)
+	}
+}
+
+// TestDemoteCooldownAndUnknownID: transport-cause demotions inside the
+// readmit cooldown are suppressed (no ring flap), deliberate causes bypass
+// it, and demoting an ID outside the membership is a counted no-op.
+func TestDemoteCooldownAndUnknownID(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"node": "b"})
+	}))
+	defer stub.Close()
+
+	members := []Member{{ID: "a", Addr: "http://127.0.0.1:1"}, {ID: "b", Addr: stub.URL}}
+	n := quietNode(t, Options{Self: "a", RejoinAfter: 1, DemoteCooldown: time.Hour, Replicas: -1}, members)
+	b := members[1]
+
+	// First transport demotion (no prior readmit): not cooldown-gated.
+	n.MarkDead("b")
+	if got := n.PeerState("b"); got != "demoted" {
+		t.Fatalf("first MarkDead: %q, want demoted", got)
+	}
+
+	// Readmit via a probe success, starting the cooldown window.
+	n.probeOne(b)
+	if got := n.PeerState("b"); got != "alive" {
+		t.Fatalf("after readmit probe: %q, want alive", got)
+	}
+
+	// A transport error inside the window must not flap the ring.
+	n.MarkDead("b")
+	if got := n.PeerState("b"); got != "alive" {
+		t.Fatalf("transport demotion inside cooldown: %q, want alive (suppressed)", got)
+	}
+	if ms := n.Membership(); ms.Demotions != 1 {
+		t.Errorf("demotions = %d after suppressed flap, want 1", ms.Demotions)
+	}
+
+	// A drain announcement is authoritative and bypasses the cooldown.
+	n.demote("b", causeDrain)
+	if got := n.PeerState("b"); got != "demoted" {
+		t.Fatalf("drain demotion inside cooldown: %q, want demoted", got)
+	}
+
+	// Unknown IDs: counted no-op, live ring untouched.
+	before := n.Ring().Version()
+	n.MarkDead("zebra")
+	if got := n.Ring().Version(); got != before {
+		t.Error("unknown-ID demotion changed the ring")
+	}
+	if ms := n.Membership(); ms.UnknownDemotions != 1 {
+		t.Errorf("unknownDemotions = %d, want 1", ms.UnknownDemotions)
+	}
+	if got := n.PeerState("zebra"); got != "" {
+		t.Errorf("PeerState(zebra) = %q, want empty", got)
+	}
+}
+
+// TestGossipConvergesOnIntersection: a probed peer's healthz view demotes
+// members it reports not-alive (never itself, never this node), and a
+// differing ring version is counted as skew — the mechanism that converges
+// two disagreeing nodes onto the intersection of their live sets.
+func TestGossipConvergesOnIntersection(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"node":        "b",
+			"ringVersion": "somewhere-else",
+			"peers": []map[string]any{
+				{"id": "a", "alive": false}, // self: must be ignored
+				{"id": "b", "alive": false}, // the reporter: firsthand probe wins
+				{"id": "c", "alive": false}, // absorbed
+			},
+		})
+	}))
+	defer stub.Close()
+
+	members := []Member{
+		{ID: "a", Addr: "http://127.0.0.1:1"},
+		{ID: "b", Addr: stub.URL},
+		{ID: "c", Addr: "http://127.0.0.1:2"},
+	}
+	n := quietNode(t, Options{Self: "a", DemoteCooldown: -1, Replicas: -1}, members)
+
+	n.probeOne(members[1])
+	if got := n.PeerState("b"); got != "alive" {
+		t.Errorf("reporting peer = %q, want alive (its own probe succeeded)", got)
+	}
+	if got := n.PeerState("c"); got != "demoted" {
+		t.Errorf("gossiped-dead peer = %q, want demoted", got)
+	}
+	if ms := n.Membership(); ms.RingSkews < 1 {
+		t.Errorf("ringSkews = %d, want >= 1 (versions differed)", ms.RingSkews)
+	}
+	if n.Ring().Size() != 2 {
+		t.Errorf("live ring size = %d, want 2 (a, b)", n.Ring().Size())
+	}
+}
+
+// TestHealthzDegradedOnMajorityDemoted: with more than half of the
+// configured peers demoted, /healthz flips to 503 with a degraded marker
+// so load balancers route away from a minority partition.
+func TestHealthzDegradedOnMajorityDemoted(t *testing.T) {
+	tc := startCluster(t, 3, Options{Replicas: -1})
+
+	get := func() (int, map[string]any) {
+		resp, err := http.Get(tc.addrs[0] + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("healthz decode: %v (%s)", err, body)
+		}
+		return resp.StatusCode, m
+	}
+
+	if code, m := get(); code != http.StatusOK || m["status"] != "ok" {
+		t.Fatalf("healthy node: %d %v, want 200 ok", code, m)
+	}
+
+	tc.nodes[0].demote("n1", causeProbe)
+	if code, _ := get(); code != http.StatusOK {
+		t.Fatalf("1 of 2 peers demoted is not a majority: got %d, want 200", code)
+	}
+
+	tc.nodes[0].demote("n2", causeProbe)
+	code, m := get()
+	if code != http.StatusServiceUnavailable || m["status"] != "degraded" {
+		t.Fatalf("majority demoted: %d %v, want 503 degraded", code, m)
+	}
+	if reason, _ := m["reason"].(string); reason == "" {
+		t.Error("degraded healthz carries no reason")
+	}
+
+	resp, err := http.Get(tc.addrs[0] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "dsserve_degraded 1") {
+		t.Error("metrics missing dsserve_degraded 1")
+	}
+}
+
+// TestClusterMembershipRaces hammers the ring pointer from every direction
+// the production paths do — demotions, probe outcomes swapping it back,
+// lock-free readers — for the race detector.
+func TestClusterMembershipRaces(t *testing.T) {
+	members := []Member{
+		{ID: "a", Addr: "http://127.0.0.1:1"},
+		{ID: "b", Addr: "http://127.0.0.1:2"},
+		{ID: "c", Addr: "http://127.0.0.1:3"},
+	}
+	n := quietNode(t, Options{Self: "a", DemoteCooldown: -1, RejoinAfter: 1, Replicas: -1}, members)
+
+	key, err := service.RunKey(testRunReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, id := range []string{"b", "c"} {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				n.MarkDead(id)
+				n.observeProbe(id, true) // readmit (RejoinAfter 1)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			r := n.Ring()
+			r.Owner(key)
+			r.SuccessorsPos(key.Ring(), 2)
+			n.healthInfo()
+			n.degraded()
+			n.metricsAppend(io.Discard)
+		}
+	}()
+	wg.Wait()
+
+	// Converge: both peers readmitted, full ring restored.
+	n.observeProbe("b", true)
+	n.observeProbe("c", true)
+	if n.Ring().Size() != 3 {
+		t.Errorf("final ring size %d, want 3", n.Ring().Size())
+	}
+}

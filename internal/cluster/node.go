@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +33,12 @@ const (
 	// DefaultTenant. Forwards propagate it for attribution, but admission
 	// is charged once, at the edge node the user hit.
 	HeaderTenant = "X-DSServe-Tenant"
+	// HeaderRingVersion piggybacks the sender's membership-hash ring version
+	// on peer requests and responses, so both ends of every forward detect
+	// version skew without extra round trips. Skew is counted and, combined
+	// with the gossip absorbed from probes, converges the nodes' live sets
+	// to their intersection.
+	HeaderRingVersion = "X-DSServe-Ring-Version"
 )
 
 // Options configures a cluster node.
@@ -57,6 +64,29 @@ type Options struct {
 	PeerAttempts  int
 	PeerBaseDelay time.Duration
 	PeerMaxDelay  time.Duration
+	// ProbeInterval is the active failure detector's probe period; 0
+	// disables probing (membership then changes only on transport evidence,
+	// as before the detector existed). With probing on, demotion is
+	// reversible: a restarted peer rejoins without a fleet restart.
+	ProbeInterval time.Duration
+	// SuspectAfter is how many consecutive probe failures confirm a suspect
+	// peer dead (default 3). The first failure only marks it suspect.
+	SuspectAfter int
+	// RejoinAfter is how many consecutive probe successes readmit a demoted
+	// peer (default 2) — hysteresis, so a flapping peer doesn't thrash the
+	// ring.
+	RejoinAfter int
+	// DemoteCooldown suppresses transport- and gossip-cause demotions
+	// within this window after a peer's readmission (default 5s; negative
+	// disables), bounding ring churn: one flaky forward right after a
+	// rejoin cannot flap the ring, while probe- and drain-cause demotions
+	// (deliberate, evidence-backed) bypass the cooldown.
+	DemoteCooldown time.Duration
+	// Replicas is K in K-successor replication: on every fresh cache fill
+	// the entry is pushed asynchronously to its K ring-successors (default
+	// 1; negative disables). During owner loss, forwards fall through to
+	// successors, converting the loss into a replica read.
+	Replicas int
 	// Logger receives peer-event logs (default slog.Default).
 	Logger *slog.Logger
 }
@@ -80,6 +110,25 @@ func (o Options) withDefaults() Options {
 	if o.PeerMaxDelay <= 0 {
 		o.PeerMaxDelay = time.Second
 	}
+	if o.ProbeInterval < 0 {
+		o.ProbeInterval = 0
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 3
+	}
+	if o.RejoinAfter <= 0 {
+		o.RejoinAfter = 2
+	}
+	if o.DemoteCooldown == 0 {
+		o.DemoteCooldown = 5 * time.Second
+	} else if o.DemoteCooldown < 0 {
+		o.DemoteCooldown = 0
+	}
+	if o.Replicas == 0 {
+		o.Replicas = 1
+	} else if o.Replicas < 0 {
+		o.Replicas = 0
+	}
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
@@ -94,13 +143,83 @@ type Node struct {
 	self    Member
 	srv     *service.Server
 	adm     *Admission
-	ring    atomic.Pointer[Ring]
+	full    *Ring                      // configured membership, immutable
+	ring    atomic.Pointer[Ring]       // live view: configured minus demoted
 	clients map[string]*service.Client // peer clients by member ID (not self)
 	log     *slog.Logger
+
+	// peers is the failure detector's per-peer state (excludes self); every
+	// state transition rebuilds the live ring under peersMu and swaps it
+	// atomically, so readers stay lock-free.
+	peersMu sync.Mutex
+	peers   map[string]*peerHealth
+
+	probeHTTP   *http.Client
+	probeHeader http.Header
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+
+	// replication queue: bounded, drop-oldest (replicate.go).
+	replMu      sync.Mutex
+	replCond    *sync.Cond
+	replQ       []replJob
+	replStopped bool
 
 	forwards   atomic.Int64 // requests forwarded to their owning peer
 	steals     atomic.Int64 // sweep sub-grids executed by a non-owner node
 	peerErrors atomic.Int64 // peer calls that exhausted their retries
+
+	probes           atomic.Int64 // liveness probes sent
+	probeFailures    atomic.Int64 // probes that failed (transport or identity mismatch)
+	demotions        atomic.Int64 // peers demoted out of the live ring
+	rejoins          atomic.Int64 // demoted peers readmitted
+	ringSkews        atomic.Int64 // peer exchanges that observed a differing ring version
+	unknownDemotions atomic.Int64 // demotion requests for IDs outside the membership
+
+	replicaPushes     atomic.Int64 // cache entries pushed to a ring-successor
+	replicaPushErrors atomic.Int64 // replica pushes that failed (best-effort, not peer errors)
+	replicaDrops      atomic.Int64 // fills dropped from the full replication queue
+	replicaHits       atomic.Int64 // non-owned keys served from the local cache
+	replicaMisses     atomic.Int64 // non-owned keys served by local recompute
+
+	handoffSentEntries atomic.Int64
+	handoffSentBytes   atomic.Int64
+	handoffRecvEntries atomic.Int64
+	handoffRecvBytes   atomic.Int64
+}
+
+// MembershipStats snapshots the membership, replication and handoff
+// counters (tests and /metrics).
+type MembershipStats struct {
+	Probes, ProbeFailures, Demotions, Rejoins      int64
+	RingSkews, UnknownDemotions                    int64
+	ReplicaPushes, ReplicaPushErrors, ReplicaDrops int64
+	ReplicaHits, ReplicaMisses                     int64
+	HandoffSentEntries, HandoffSentBytes           int64
+	HandoffRecvEntries, HandoffRecvBytes           int64
+}
+
+// Membership returns the current membership/replication counter snapshot.
+func (n *Node) Membership() MembershipStats {
+	return MembershipStats{
+		Probes:             n.probes.Load(),
+		ProbeFailures:      n.probeFailures.Load(),
+		Demotions:          n.demotions.Load(),
+		Rejoins:            n.rejoins.Load(),
+		RingSkews:          n.ringSkews.Load(),
+		UnknownDemotions:   n.unknownDemotions.Load(),
+		ReplicaPushes:      n.replicaPushes.Load(),
+		ReplicaPushErrors:  n.replicaPushErrors.Load(),
+		ReplicaDrops:       n.replicaDrops.Load(),
+		ReplicaHits:        n.replicaHits.Load(),
+		ReplicaMisses:      n.replicaMisses.Load(),
+		HandoffSentEntries: n.handoffSentEntries.Load(),
+		HandoffSentBytes:   n.handoffSentBytes.Load(),
+		HandoffRecvEntries: n.handoffRecvEntries.Load(),
+		HandoffRecvBytes:   n.handoffRecvBytes.Load(),
+	}
 }
 
 // New builds the node and its underlying service.Server (whose /healthz
@@ -129,20 +248,31 @@ func New(opts Options, srvOpts service.Options) (*Node, error) {
 		opts:    opts,
 		self:    self,
 		adm:     NewAdmission(opts.Tenant),
+		full:    ring,
 		clients: make(map[string]*service.Client),
+		peers:   make(map[string]*peerHealth),
 		log:     opts.Logger,
+		stopCh:  make(chan struct{}),
 	}
+	n.replCond = sync.NewCond(&n.replMu)
 	n.ring.Store(ring)
+	hdr := http.Header{}
+	hdr.Set(HeaderForwarded, "1")
+	hdr.Set(HeaderNode, self.ID)
+	if opts.PeerToken != "" {
+		hdr.Set(HeaderPeerToken, opts.PeerToken)
+	}
+	n.probeHeader = hdr
+	probeTimeout := opts.ProbeInterval
+	if probeTimeout < time.Second {
+		probeTimeout = time.Second
+	}
+	n.probeHTTP = &http.Client{Timeout: probeTimeout}
 	for _, m := range ring.Members() {
 		if m.ID == self.ID {
 			continue
 		}
-		hdr := http.Header{}
-		hdr.Set(HeaderForwarded, "1")
-		hdr.Set(HeaderNode, self.ID)
-		if opts.PeerToken != "" {
-			hdr.Set(HeaderPeerToken, opts.PeerToken)
-		}
+		n.peers[m.ID] = &peerHealth{state: peerAlive}
 		n.clients[m.ID] = &service.Client{
 			Base:        m.Addr,
 			MaxAttempts: opts.PeerAttempts,
@@ -154,8 +284,37 @@ func New(opts Options, srvOpts service.Options) (*Node, error) {
 
 	srvOpts.HealthInfo = n.healthInfo
 	srvOpts.MetricsAppend = n.metricsAppend
+	srvOpts.Degraded = n.degraded
+	if opts.Replicas > 0 && ring.Size() > 1 {
+		srvOpts.OnCacheFill = n.onCacheFill
+	}
 	n.srv = service.NewServer(srvOpts)
+
+	if ring.Size() > 1 {
+		if opts.ProbeInterval > 0 {
+			n.wg.Add(1)
+			go n.probeLoop()
+		}
+		if opts.Replicas > 0 {
+			n.wg.Add(1)
+			go n.replicateLoop()
+		}
+	}
 	return n, nil
+}
+
+// Stop shuts down the node's background goroutines (prober, replicator)
+// and waits for them. The underlying service server is not drained; call
+// Server().Drain for that.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stopCh)
+		n.replMu.Lock()
+		n.replStopped = true
+		n.replCond.Broadcast()
+		n.replMu.Unlock()
+	})
+	n.wg.Wait()
 }
 
 // Server exposes the underlying service server (drain, breaker, tests).
@@ -172,28 +331,140 @@ func (n *Node) Counters() (forwards, steals, peerErrors int64) {
 	return n.forwards.Load(), n.steals.Load(), n.peerErrors.Load()
 }
 
-// MarkDead removes a member from this node's view of the ring (no-op for
-// self or the last member). The ring version changes, keys owned by the
-// dead node reassign to the survivors, and in-flight sweeps re-dispatch
-// its sub-grids — the cluster-scope analogue of PC ownership reclamation.
+// demoteCause names why a peer left the live ring; it decides whether the
+// per-peer cooldown applies.
+type demoteCause string
+
+const (
+	// causeTransport: a forward or sweep dispatch exhausted its retries.
+	// One data point from one request — cooldown-gated.
+	causeTransport demoteCause = "transport"
+	// causeGossip: a probed peer reported the member not-alive. Secondhand
+	// evidence — cooldown-gated.
+	causeGossip demoteCause = "gossip"
+	// causeProbe: SuspectAfter consecutive probe failures. Deliberate,
+	// evidence-backed — bypasses the cooldown.
+	causeProbe demoteCause = "probe"
+	// causeDrain: the peer announced its own departure. Authoritative —
+	// bypasses the cooldown.
+	causeDrain demoteCause = "drain"
+)
+
+// MarkDead demotes a member out of this node's live ring (no-op for self,
+// the last member, or an ID outside the configured membership). The ring
+// version changes, keys owned by the demoted node reassign to the
+// survivors, and in-flight sweeps re-dispatch its sub-grids — the
+// cluster-scope analogue of PC ownership reclamation. Unlike its pre-probe
+// ancestor, the demotion is reversible: the failure detector readmits the
+// peer after RejoinAfter consecutive successful probes.
 func (n *Node) MarkDead(id string) {
+	n.demote(id, causeTransport)
+}
+
+// demote moves a peer to the demoted state and rebuilds the live ring.
+// Unknown IDs are a counted no-op — a stale gossip payload or a caller bug
+// must not CAS-loop or grow state. Transport- and gossip-cause demotions
+// within DemoteCooldown of the peer's last readmission are suppressed,
+// bounding ring churn; the prober escalates through suspect with its own
+// consecutive-failure evidence if the peer is genuinely down again.
+func (n *Node) demote(id string, cause demoteCause) {
 	if id == n.self.ID {
 		return
 	}
-	for {
-		cur := n.ring.Load()
-		if !cur.Has(id) {
-			return
-		}
-		next, err := cur.Without(id)
-		if err != nil {
-			return
-		}
-		if n.ring.CompareAndSwap(cur, next) {
-			n.log.Warn("cluster: peer marked dead", "peer", id, "ringVersion", next.Version(), "members", next.Size())
-			return
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	ph, ok := n.peers[id]
+	if !ok {
+		n.unknownDemotions.Add(1)
+		n.log.Warn("cluster: demotion request for unknown member ignored", "peer", id, "cause", string(cause))
+		return
+	}
+	if ph.state == peerDemoted {
+		return
+	}
+	now := time.Now()
+	if (cause == causeTransport || cause == causeGossip) &&
+		!ph.lastReadmit.IsZero() && now.Sub(ph.lastReadmit) < n.opts.DemoteCooldown {
+		n.log.Debug("cluster: demotion suppressed by readmit cooldown", "peer", id, "cause", string(cause))
+		return
+	}
+	ph.state = peerDemoted
+	ph.failures, ph.successes = 0, 0
+	ph.lastChange = now
+	n.demotions.Add(1)
+	n.rebuildRingLocked()
+	live := n.ring.Load()
+	n.log.Warn("cluster: peer demoted", "peer", id, "cause", string(cause),
+		"ringVersion", live.Version(), "members", live.Size())
+}
+
+// readmitLocked returns a demoted peer to the live ring (peersMu held).
+func (n *Node) readmitLocked(id string, ph *peerHealth) {
+	now := time.Now()
+	ph.state = peerAlive
+	ph.failures, ph.successes = 0, 0
+	ph.lastChange, ph.lastReadmit = now, now
+	n.rejoins.Add(1)
+	n.rebuildRingLocked()
+	live := n.ring.Load()
+	n.log.Info("cluster: peer rejoined", "peer", id,
+		"ringVersion", live.Version(), "members", live.Size())
+}
+
+// rebuildRingLocked recomputes the live ring — the configured membership
+// minus demoted peers, self always included — and swaps it atomically
+// (peersMu held). Ownership is a pure function of the live set, so any two
+// nodes that agree on liveness agree on ownership.
+func (n *Node) rebuildRingLocked() {
+	alive := make([]Member, 0, n.full.Size())
+	for _, m := range n.full.Members() {
+		if m.ID == n.self.ID || n.peers[m.ID].state != peerDemoted {
+			alive = append(alive, m)
 		}
 	}
+	r, err := NewRing(alive)
+	if err != nil {
+		// Unreachable: the set always contains self.
+		n.log.Error("cluster: live ring rebuild failed", "err", err)
+		return
+	}
+	n.ring.Store(r)
+}
+
+// degraded reports the node unhealthy when more than half of its
+// configured peers are demoted: a minority partition keeps serving reads
+// it can, but tells load balancers to prefer the majority side.
+func (n *Node) degraded() (bool, string) {
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	if len(n.peers) == 0 {
+		return false, ""
+	}
+	demoted := 0
+	for _, ph := range n.peers {
+		if ph.state == peerDemoted {
+			demoted++
+		}
+	}
+	if demoted*2 > len(n.peers) {
+		return true, fmt.Sprintf("%d of %d peers demoted", demoted, len(n.peers))
+	}
+	return false, ""
+}
+
+// PeerState reports the failure detector's state for a member ("self",
+// "alive", "suspect", "demoted", or "" for unknown IDs).
+func (n *Node) PeerState(id string) string {
+	if id == n.self.ID {
+		return "self"
+	}
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	ph, ok := n.peers[id]
+	if !ok {
+		return ""
+	}
+	return ph.state.String()
 }
 
 // Handler wraps the service handler with the peer middleware.
@@ -210,6 +481,30 @@ func (n *Node) middleware(inner http.Handler) http.Handler {
 		forwarded := r.Header.Get(HeaderForwarded) != ""
 		if forwarded && n.opts.PeerToken != "" && r.Header.Get(HeaderPeerToken) != n.opts.PeerToken {
 			n.writeError(w, http.StatusForbidden, fmt.Errorf("cluster: invalid peer token"))
+			return
+		}
+		if forwarded {
+			// Piggybacked ring-version exchange: compare the sender's view,
+			// and stamp ours on the response for the sender to compare.
+			if v := r.Header.Get(HeaderRingVersion); v != "" && v != n.ring.Load().Version() {
+				n.ringSkews.Add(1)
+			}
+			w.Header().Set(HeaderRingVersion, n.ring.Load().Version())
+		}
+		if r.URL.Path == "/internal/handoff" || r.URL.Path == "/internal/departing" {
+			// Peer-internal endpoints: authenticated peer traffic only (the
+			// token check above already ran for forwarded requests), and no
+			// admission — cache transfer must work while a tenant is shed.
+			if !forwarded {
+				n.writeError(w, http.StatusForbidden,
+					fmt.Errorf("cluster: %s is peer-internal", r.URL.Path))
+				return
+			}
+			if r.URL.Path == "/internal/handoff" {
+				n.handleHandoff(w, r)
+			} else {
+				n.handleDeparting(w, r)
+			}
 			return
 		}
 		if r.Method != http.MethodPost {
@@ -249,6 +544,11 @@ func (n *Node) middleware(inner http.Handler) http.Handler {
 // it locally when this node owns it, otherwise forwards it to the owner.
 // Requests whose key cannot be computed (malformed JSON, unknown workload)
 // fall through to the local handler, which owns the error vocabulary.
+//
+// When a forward fails, the failed peer is demoted and the loop re-reads
+// the live ring, so the next iteration targets the key's successor — the
+// replica holder, by construction of K-successor replication. Owner loss
+// thus degrades to a replica read before it degrades to a recompute.
 func (n *Node) routeOrServe(w http.ResponseWriter, r *http.Request, inner http.Handler) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
 	if err != nil {
@@ -262,24 +562,42 @@ func (n *Node) routeOrServe(w http.ResponseWriter, r *http.Request, inner http.H
 		n.serveLocal(w, r, inner)
 		return
 	}
-	owner := n.ring.Load().Owner(key)
-	if owner.ID == n.self.ID {
-		n.serveLocal(w, r, inner)
-		return
+	for attempt := 0; attempt <= n.opts.Replicas; attempt++ {
+		owner := n.ring.Load().Owner(key)
+		if owner.ID == n.self.ID {
+			n.serveKeyed(w, r, inner, key, body)
+			return
+		}
+		if done := n.forward(w, r, owner, body); done {
+			return
+		}
 	}
-	if done := n.forward(w, r, owner, body); done {
-		return
-	}
-	// The owner is unreachable: it has been removed from the ring and this
-	// node — a survivor the key may now map to — serves the request itself.
-	// Determinism makes that safe: any node computes the same bytes.
-	r.Body = io.NopCloser(bytes.NewReader(body))
-	n.serveLocal(w, r, inner)
+	// Every routable peer is unreachable: this node — a survivor — serves
+	// the request itself. Determinism makes that safe: any node computes
+	// the same bytes.
+	n.serveKeyed(w, r, inner, key, body)
 }
 
 func (n *Node) serveLocal(w http.ResponseWriter, r *http.Request, inner http.Handler) {
 	w.Header().Set(HeaderNode, n.self.ID)
 	inner.ServeHTTP(w, r)
+}
+
+// serveKeyed serves a keyed request locally, with replica accounting: when
+// the key's configured (full-membership) owner is some other node, this
+// node is standing in for it — a local cache entry then is a replica hit
+// (handoff or replication paid off), a miss means recompute. The counters
+// measure exactly what replication is for.
+func (n *Node) serveKeyed(w http.ResponseWriter, r *http.Request, inner http.Handler, key cache.Key, body []byte) {
+	if n.full.Owner(key).ID != n.self.ID {
+		if n.srv.CacheHas(key) {
+			n.replicaHits.Add(1)
+		} else {
+			n.replicaMisses.Add(1)
+		}
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	n.serveLocal(w, r, inner)
 }
 
 // requestKey computes the canonical content address for a routable POST
@@ -335,8 +653,9 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, bod
 		return false
 	}
 	fwd := *cl
+	fwd.Header = fwd.Header.Clone()
+	fwd.Header.Set(HeaderRingVersion, n.ring.Load().Version())
 	if tenant := r.Header.Get(HeaderTenant); tenant != "" {
-		fwd.Header = fwd.Header.Clone()
 		fwd.Header.Set(HeaderTenant, tenant)
 	}
 	status, respBody, respHdr, err := fwd.PostRaw(r.Context(), r.URL.Path, body)
@@ -357,6 +676,9 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, bod
 		return false
 	}
 	n.forwards.Add(1)
+	if v := respHdr.Get(HeaderRingVersion); v != "" && v != n.ring.Load().Version() {
+		n.ringSkews.Add(1)
+	}
 	for _, h := range []string{"Content-Type", "Retry-After", HeaderNode} {
 		if v := respHdr.Get(h); v != "" {
 			w.Header().Set(h, v)
@@ -369,17 +691,28 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, bod
 
 // ---- observability ----
 
-// healthInfo feeds the cluster view into GET /healthz.
+// healthInfo feeds the cluster view into GET /healthz: ring identity plus
+// the failure detector's per-peer state. Peers read this from each other's
+// probes ("gossip"): the listed states and ring version are what lets a
+// probed node's view propagate without a separate gossip protocol.
 func (n *Node) healthInfo() map[string]any {
 	ring := n.ring.Load()
-	peers := make([]map[string]any, 0, len(n.opts.Members))
-	for _, m := range n.opts.Members {
+	n.peersMu.Lock()
+	peers := make([]map[string]any, 0, n.full.Size())
+	for _, m := range n.full.Members() {
+		state := "self"
+		if ph, ok := n.peers[m.ID]; ok {
+			state = ph.state.String()
+		}
 		peers = append(peers, map[string]any{
 			"id":    m.ID,
 			"addr":  m.Addr,
-			"alive": ring.Has(m.ID),
+			"state": state,
+			// alive is the pre-detector vocabulary: present in the live ring.
+			"alive": state != "demoted",
 		})
 	}
+	n.peersMu.Unlock()
 	return map[string]any{
 		"node":        n.self.ID,
 		"ringVersion": ring.Version(),
@@ -394,12 +727,44 @@ func (n *Node) metricsAppend(w io.Writer) {
 	fmt.Fprintf(w, "# HELP dsserve_steals_total Sweep sub-grids executed by a node that does not own them.\n# TYPE dsserve_steals_total counter\ndsserve_steals_total %d\n", n.steals.Load())
 	fmt.Fprintf(w, "# HELP dsserve_peer_errors_total Peer calls that exhausted their retries (node-loss signals).\n# TYPE dsserve_peer_errors_total counter\ndsserve_peer_errors_total %d\n", n.peerErrors.Load())
 	fmt.Fprintf(w, "# HELP dsserve_ring_members Live members in this node's ring view.\n# TYPE dsserve_ring_members gauge\ndsserve_ring_members %d\n", n.ring.Load().Size())
+	ms := n.Membership()
+	deg := 0
+	if d, _ := n.degraded(); d {
+		deg = 1
+	}
+	fmt.Fprintf(w, "# HELP dsserve_probes_total Liveness probes sent to peers.\n# TYPE dsserve_probes_total counter\ndsserve_probes_total %d\n", ms.Probes)
+	fmt.Fprintf(w, "# HELP dsserve_probe_failures_total Probes that failed (transport error or identity mismatch).\n# TYPE dsserve_probe_failures_total counter\ndsserve_probe_failures_total %d\n", ms.ProbeFailures)
+	fmt.Fprintf(w, "# HELP dsserve_demotions_total Peers demoted out of the live ring.\n# TYPE dsserve_demotions_total counter\ndsserve_demotions_total %d\n", ms.Demotions)
+	fmt.Fprintf(w, "# HELP dsserve_rejoins_total Demoted peers readmitted to the live ring.\n# TYPE dsserve_rejoins_total counter\ndsserve_rejoins_total %d\n", ms.Rejoins)
+	fmt.Fprintf(w, "# HELP dsserve_ring_skew_total Peer exchanges that observed a differing ring version.\n# TYPE dsserve_ring_skew_total counter\ndsserve_ring_skew_total %d\n", ms.RingSkews)
+	fmt.Fprintf(w, "# HELP dsserve_unknown_demotions_total Demotion requests for IDs outside the configured membership (ignored).\n# TYPE dsserve_unknown_demotions_total counter\ndsserve_unknown_demotions_total %d\n", ms.UnknownDemotions)
+	fmt.Fprintf(w, "# HELP dsserve_degraded Whether more than half of the configured peers are demoted.\n# TYPE dsserve_degraded gauge\ndsserve_degraded %d\n", deg)
+	fmt.Fprintf(w, "# HELP dsserve_replica_pushes_total Cache entries pushed to ring-successors.\n# TYPE dsserve_replica_pushes_total counter\ndsserve_replica_pushes_total %d\n", ms.ReplicaPushes)
+	fmt.Fprintf(w, "# HELP dsserve_replica_push_errors_total Replica pushes that failed (best-effort).\n# TYPE dsserve_replica_push_errors_total counter\ndsserve_replica_push_errors_total %d\n", ms.ReplicaPushErrors)
+	fmt.Fprintf(w, "# HELP dsserve_replica_dropped_total Cache fills dropped from the full replication queue.\n# TYPE dsserve_replica_dropped_total counter\ndsserve_replica_dropped_total %d\n", ms.ReplicaDrops)
+	fmt.Fprintf(w, "# HELP dsserve_replica_hits_total Non-owned keys served from the local cache (replication or handoff paid off).\n# TYPE dsserve_replica_hits_total counter\ndsserve_replica_hits_total %d\n", ms.ReplicaHits)
+	fmt.Fprintf(w, "# HELP dsserve_replica_misses_total Non-owned keys served by local recompute.\n# TYPE dsserve_replica_misses_total counter\ndsserve_replica_misses_total %d\n", ms.ReplicaMisses)
+	fmt.Fprintf(w, "# HELP dsserve_handoff_entries_sent_total Cache entries handed off to new owners during drain.\n# TYPE dsserve_handoff_entries_sent_total counter\ndsserve_handoff_entries_sent_total %d\n", ms.HandoffSentEntries)
+	fmt.Fprintf(w, "# HELP dsserve_handoff_bytes_sent_total Cache bytes handed off during drain.\n# TYPE dsserve_handoff_bytes_sent_total counter\ndsserve_handoff_bytes_sent_total %d\n", ms.HandoffSentBytes)
+	fmt.Fprintf(w, "# HELP dsserve_handoff_entries_received_total Cache entries imported from peers (drain handoff or replication).\n# TYPE dsserve_handoff_entries_received_total counter\ndsserve_handoff_entries_received_total %d\n", ms.HandoffRecvEntries)
+	fmt.Fprintf(w, "# HELP dsserve_handoff_bytes_received_total Cache bytes imported from peers.\n# TYPE dsserve_handoff_bytes_received_total counter\ndsserve_handoff_bytes_received_total %d\n", ms.HandoffRecvBytes)
 	sheds := n.adm.Sheds()
 	if len(sheds) > 0 {
 		fmt.Fprintf(w, "# HELP dsserve_tenant_shed_total Requests shed by per-tenant admission (429s), by tenant.\n# TYPE dsserve_tenant_shed_total counter\n")
 		for _, s := range sheds {
 			fmt.Fprintf(w, "dsserve_tenant_shed_total{tenant=%q} %d\n", s.Tenant, s.Shed)
 		}
+	}
+}
+
+// writeJSON renders a 200 JSON response for the cluster-owned endpoints.
+func (n *Node) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderNode, n.self.ID)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		n.log.Error("cluster: encode response", "err", err)
 	}
 }
 

@@ -67,6 +67,7 @@ func startCluster(t *testing.T, size int, opts Options) *testCluster {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		for _, n := range tc.nodes {
+			n.Stop()
 			n.Server().Drain(ctx)
 		}
 	})

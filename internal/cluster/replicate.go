@@ -1,0 +1,109 @@
+package cluster
+
+// K-successor replication.
+//
+// Every fresh cache fill on the owner is pushed, asynchronously and
+// best-effort, to the key's K ring-successors — the exact nodes ownership
+// would fall to if the owner left (Ring.Successors). When the owner is
+// later demoted, the router's fall-through (routeOrServe) lands the key's
+// requests on those successors, which answer from the replica instead of
+// recomputing: owner loss degrades from a latency cliff (full simulation)
+// to a cache read.
+//
+// Replication never changes response bytes. The pushed entry is the same
+// portable encoding the drain handoff uses (service.CacheEntry), and the
+// content address guarantees any two values under one key are the same
+// bytes — a replica answer differs from the owner's only in its
+// provenance (Cached:true without a local compute).
+//
+// The queue is bounded with drop-oldest backpressure: replication must
+// never apply backpressure to the serving path, and under a fill storm
+// the newest entries are the ones most likely to be asked for again.
+
+import (
+	"context"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/cache"
+	"github.com/csrd-repro/datasync/internal/service"
+)
+
+// replQueueCap bounds the replication queue; beyond it the oldest pending
+// fill is dropped (and counted) rather than blocking the serving path.
+const replQueueCap = 256
+
+// replPushTimeout bounds one replica push round (all K successors).
+const replPushTimeout = 5 * time.Second
+
+// replJob is one cache fill awaiting replication.
+type replJob struct {
+	key   cache.Key
+	entry service.CacheEntry
+}
+
+// onCacheFill is the service.Options.OnCacheFill hook: enqueue and return.
+func (n *Node) onCacheFill(key cache.Key, e service.CacheEntry) {
+	n.replMu.Lock()
+	defer n.replMu.Unlock()
+	if n.replStopped {
+		return
+	}
+	if len(n.replQ) >= replQueueCap {
+		n.replQ = n.replQ[1:]
+		n.replicaDrops.Add(1)
+	}
+	n.replQ = append(n.replQ, replJob{key: key, entry: e})
+	n.replCond.Signal()
+}
+
+// replicateLoop drains the queue until Stop.
+func (n *Node) replicateLoop() {
+	defer n.wg.Done()
+	for {
+		n.replMu.Lock()
+		for len(n.replQ) == 0 && !n.replStopped {
+			n.replCond.Wait()
+		}
+		if n.replStopped {
+			n.replMu.Unlock()
+			return
+		}
+		job := n.replQ[0]
+		n.replQ = n.replQ[1:]
+		n.replMu.Unlock()
+		n.replicateOne(job)
+	}
+}
+
+// replicateOne pushes one entry to each of the key's live-ring successors.
+// Push failures are counted but deliberately do not demote the peer: the
+// prober owns liveness, and a best-effort push is one data point too weak
+// to shrink the ring on.
+func (n *Node) replicateOne(job replJob) {
+	succ := n.ring.Load().Successors(job.key, n.opts.Replicas)
+	if len(succ) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), replPushTimeout)
+	defer cancel()
+	req := HandoffRequest{
+		From:    n.self.ID,
+		Reason:  "replicate",
+		Entries: []service.CacheEntry{job.entry},
+	}
+	for _, m := range succ {
+		if m.ID == n.self.ID {
+			continue
+		}
+		cl := n.clients[m.ID]
+		if cl == nil {
+			continue
+		}
+		if err := cl.PostJSON(ctx, "/internal/handoff", req, nil); err != nil {
+			n.replicaPushErrors.Add(1)
+			n.log.Debug("cluster: replica push failed", "peer", m.ID, "key", job.entry.Key, "err", err)
+			continue
+		}
+		n.replicaPushes.Add(1)
+	}
+}

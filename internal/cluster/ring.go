@@ -146,6 +146,37 @@ func (r *Ring) OwnerPos(pos uint64) Member {
 	return r.members[r.vnodes[i].member]
 }
 
+// Successors returns up to count distinct members clockwise after the
+// owner of a canonical content address, owner excluded. These are the
+// key's replica holders: the nodes whose virtual nodes would inherit the
+// key if the owner left, in inheritance order — so K-successor replication
+// places copies exactly where ownership will land after a failure.
+func (r *Ring) Successors(k cache.Key, count int) []Member {
+	return r.SuccessorsPos(k.Ring(), count)
+}
+
+// SuccessorsPos is Successors for a raw ring position.
+func (r *Ring) SuccessorsPos(pos uint64, count int) []Member {
+	if count <= 0 || len(r.members) <= 1 {
+		return nil
+	}
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].pos >= pos })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	seen := make(map[int32]bool, count+1)
+	seen[r.vnodes[i].member] = true
+	var out []Member
+	for step := 1; step < len(r.vnodes) && len(out) < count; step++ {
+		v := r.vnodes[(i+step)%len(r.vnodes)]
+		if !seen[v.member] {
+			seen[v.member] = true
+			out = append(out, r.members[v.member])
+		}
+	}
+	return out
+}
+
 // Version is a content hash of the membership set (IDs, addresses,
 // weights): two nodes agree on ownership exactly when their versions match.
 func (r *Ring) Version() string { return r.version }

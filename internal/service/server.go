@@ -48,6 +48,17 @@ type Options struct {
 	// the built-in metrics (the cluster layer appends peer-forward, steal
 	// and tenant-shed counters through it).
 	MetricsAppend func(w io.Writer)
+	// OnCacheFill, when set, is called once per fresh cache fill (a computed
+	// result, not a hit) with the portable encoding of the stored entry. It
+	// must be cheap: the cluster layer enqueues the entry for asynchronous
+	// K-successor replication and returns.
+	OnCacheFill func(key cache.Key, e CacheEntry)
+	// Degraded, when set, lets an embedding layer mark the node unhealthy:
+	// when it returns true, /healthz answers 503 with status "degraded" and
+	// the returned reason (the cluster layer reports a majority of peers
+	// demoted this way, so load balancers stop routing to a minority
+	// partition). Draining takes precedence.
+	Degraded func() (bool, string)
 }
 
 func (o Options) withDefaults() Options {
@@ -281,6 +292,7 @@ func (s *Server) evalRun(ctx context.Context, wl *codegen.Workload, sspec Scheme
 	v, hit, err := s.cache.Do(key, func() (any, error) {
 		return s.executeRun(ctx, wl, sspec, cfg)
 	})
+	s.notifyFill(key, v, hit, err)
 	if err != nil {
 		return RunResponse{}, false, err
 	}
@@ -451,6 +463,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	v, hit, err := s.cache.Do(key, func() (any, error) {
 		return s.executeVerify(r.Context(), wl, req)
 	})
+	s.notifyFill(key, v, hit, err)
 	if err != nil {
 		s.evalError(w, err)
 		return
@@ -530,6 +543,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		body = map[string]any{"status": "draining"}
 		code = http.StatusServiceUnavailable
+	} else if s.opts.Degraded != nil {
+		if deg, reason := s.opts.Degraded(); deg {
+			body["status"] = "degraded"
+			body["reason"] = reason
+			code = http.StatusServiceUnavailable
+		}
 	}
 	if s.opts.HealthInfo != nil {
 		for k, v := range s.opts.HealthInfo() {

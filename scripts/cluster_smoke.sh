@@ -3,8 +3,11 @@
 # one logical service, require every node to agree on the ring, prove a
 # cross-node cache hit (computed via one node, served cached via another,
 # with the forward visible in /metrics), shed a hot tenant with 429s while
-# the breaker stays closed, SIGTERM one node and require both a clean drain
-# (exit 0) and that the surviving cluster keeps serving.
+# the breaker stays closed, then roll the cluster: SIGTERM node b (clean
+# drain with the cache handoff visible in the survivors' /metrics), hard-kill
+# node c (the prober demotes it, healthz flips to degraded, and a replicated
+# key is still served from cache), restart node c and require readmission
+# within the probe window with healthz back to ok.
 set -euo pipefail
 
 PORT_BASE="${DSCLUSTER_PORT_BASE:-18081}"
@@ -17,12 +20,15 @@ TOKEN="smoke-peer-token"
 go build -o "$BIN" ./cmd/dsserve
 
 start_node() { # $1=id $2=port $3=peers-spec $4=log
+  # -replicas 2 in a 3-node cluster means every fill lands on every node, so
+  # the rolling-restart leg can serve from replicas with one node standing.
   "$BIN" -addr "127.0.0.1:$2" -node-id "$1" -advertise "http://127.0.0.1:$2" \
     -peers "$3" -peer-token "$TOKEN" -workers 2 \
-    -tenant-rate 5 -tenant-burst 5 2>"$4" &
+    -tenant-rate 5 -tenant-burst 5 \
+    -probe-interval 250ms -suspect-after 2 -rejoin-after 2 -replicas 2 2>"$4" &
 }
 
-LOG_A="$(mktemp)" LOG_B="$(mktemp)" LOG_C="$(mktemp)"
+LOG_A="$(mktemp)" LOG_B="$(mktemp)" LOG_C="$(mktemp)" LOG_C2="$(mktemp)"
 start_node a "$PA" "b=$BASE_B,c=$BASE_C" "$LOG_A"; PID_A=$!
 start_node b "$PB" "a=$BASE_A,c=$BASE_C" "$LOG_B"; PID_B=$!
 start_node c "$PC" "a=$BASE_A,b=$BASE_B" "$LOG_C"; PID_C=$!
@@ -31,6 +37,7 @@ cleanup() {
   echo "--- node a log ---" >&2; cat "$LOG_A" >&2 || true
   echo "--- node b log ---" >&2; cat "$LOG_B" >&2 || true
   echo "--- node c log ---" >&2; cat "$LOG_C" >&2 || true
+  echo "--- node c (restarted) log ---" >&2; cat "$LOG_C2" >&2 || true
 }
 trap cleanup EXIT
 
@@ -105,27 +112,78 @@ curl -fsS -X POST "$BASE_B/run" -H 'X-DSServe-Tenant: cool' -d "$body" >/dev/nul
   echo "cool tenant rejected during hot tenant shedding" >&2; exit 1; }
 echo "cluster smoke: hot tenant shed $shed/12 with breaker closed"
 
-# Kill node c: it must drain cleanly (exit 0) while the survivors keep
-# serving — requests previously owned by c are healed onto a and b.
-kill -TERM "$PID_C"
-rc=0; wait "$PID_C" || rc=$?
-[ "$rc" = "0" ] || { echo "node c exited $rc after SIGTERM, want 0" >&2; exit 1; }
-for i in $(seq 1 10); do
+# Rolling restart, step 1 — SIGTERM node b: it must drain cleanly (exit 0)
+# AND hand its cache entries off to their next owners before leaving, with
+# the handoff visible in the survivors' /metrics. The survivors keep
+# serving: requests previously owned by b are healed onto a and c.
+kill -TERM "$PID_B"
+rc=0; wait "$PID_B" || rc=$?
+[ "$rc" = "0" ] || { echo "node b exited $rc after SIGTERM, want 0" >&2; exit 1; }
+handoff=0
+for base in "$BASE_A" "$BASE_C"; do
+  h=$(curl -fsS "$base/metrics" | awk '/^dsserve_handoff_entries_received_total /{print $2}')
+  handoff=$((handoff + h))
+done
+[ "$handoff" -ge 1 ] || {
+  echo "survivors received no handoff entries from node b's drain (got $handoff)" >&2; exit 1; }
+for i in $(seq 1 5); do
   # Distinct tenants: this loop tests survival, not the admission budget.
   newbody="{\"workload\":{\"name\":\"fig21\",\"n\":$((60 + i))},\"scheme\":{\"name\":\"process\",\"x\":4},\"config\":{\"p\":4}}"
   curl -fsS -X POST "$BASE_A/run" -H "X-DSServe-Tenant: survivor-$i" -d "$newbody" \
     | grep -q '"cycles"' || {
-    echo "survivor cluster failed to serve run $i after node c left" >&2; exit 1; }
+    echo "survivor cluster failed to serve run $i after node b left" >&2; exit 1; }
 done
+echo "cluster smoke: node b drained with handoff ($handoff entries received)"
+
+# Step 2 — hard-kill node c (no drain, no departure announcement): node a's
+# failure prober must demote it within the probe window, healthz must flip
+# to degraded (a majority of configured peers demoted) with a 503, and a
+# key computed before the kill must still be served from a's replica cache
+# without recomputation.
+kill -9 "$PID_C" 2>/dev/null || true
+wait "$PID_C" 2>/dev/null || true
+for i in $(seq 1 50); do
+  if curl -s "$BASE_A/healthz" | grep -A1 '"id": "c"' | grep -q '"state": "demoted"'; then break; fi
+  sleep 0.2
+done
+curl -s "$BASE_A/healthz" | grep -A1 '"id": "c"' | grep -q '"state": "demoted"' || {
+  echo "node a never demoted the hard-killed node c" >&2; exit 1; }
+hz_code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE_A/healthz")
+[ "$hz_code" = "503" ] || {
+  echo "healthz with a majority of peers demoted returned $hz_code, want 503" >&2; exit 1; }
+curl -s "$BASE_A/healthz" | grep -q '"status": "degraded"' || {
+  echo "healthz body not marked degraded with both peers demoted" >&2; exit 1; }
+curl -fsS "$BASE_A/metrics" | grep -q '^dsserve_degraded 1' || {
+  echo "metrics missing dsserve_degraded 1 on the last node standing" >&2; exit 1; }
+curl -fsS -X POST "$BASE_A/run" -H 'X-DSServe-Tenant: degraded-check' -d "$body" \
+  | grep -q '"cached": true' || {
+  echo "degraded node a failed to serve a replicated key from cache" >&2; exit 1; }
+echo "cluster smoke: degraded node a (503 healthz) still serves from replicas"
+
+# Step 3 — restart node c on its original address: the prober must readmit
+# it within the probe window, healthz must return to ok (only b remains
+# demoted), and the rejoined node serves traffic again.
+start_node c "$PC" "a=$BASE_A,b=$BASE_B" "$LOG_C2"; PID_C=$!
+for i in $(seq 1 50); do
+  if curl -s "$BASE_A/healthz" | grep -A1 '"id": "c"' | grep -q '"state": "alive"'; then break; fi
+  sleep 0.2
+done
+curl -s "$BASE_A/healthz" | grep -A1 '"id": "c"' | grep -q '"state": "alive"' || {
+  echo "restarted node c was not readmitted within the probe window" >&2; exit 1; }
 curl -fsS "$BASE_A/healthz" | grep -q '"status": "ok"' || {
-  echo "node a unhealthy after node c left" >&2; exit 1; }
-echo "cluster smoke: node c drained (exit 0), survivors kept serving"
+  echo "node a healthz not ok after node c rejoined" >&2; exit 1; }
+rejoins=$(curl -fsS "$BASE_A/metrics" | awk '/^dsserve_rejoins_total /{print $2}')
+[ "$rejoins" -ge 1 ] || { echo "node a recorded no rejoins after c's restart" >&2; exit 1; }
+curl -fsS -X POST "$BASE_C/run" -H 'X-DSServe-Tenant: rejoin-check' -d "$body" \
+  | grep -q '"cycles"' || {
+  echo "rejoined node c failed to serve" >&2; exit 1; }
+echo "cluster smoke: node c rejoined within the probe window ($rejoins rejoins on a)"
 
 # Clean shutdown of the rest.
-kill -TERM "$PID_A" "$PID_B"
+kill -TERM "$PID_A" "$PID_C"
 rc=0; wait "$PID_A" || rc=$?
 [ "$rc" = "0" ] || { echo "node a exited $rc after SIGTERM, want 0" >&2; exit 1; }
-rc=0; wait "$PID_B" || rc=$?
-[ "$rc" = "0" ] || { echo "node b exited $rc after SIGTERM, want 0" >&2; exit 1; }
+rc=0; wait "$PID_C" || rc=$?
+[ "$rc" = "0" ] || { echo "node c exited $rc after SIGTERM, want 0" >&2; exit 1; }
 trap - EXIT
 echo "cluster smoke: OK"
