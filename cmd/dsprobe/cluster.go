@@ -114,9 +114,12 @@ func probeCluster(ctx context.Context) {
 	// the single-node oracle. StealChunk 1 over a 128-point grid means one
 	// peer dispatch per point with only three sequential workers draining
 	// them, so a kill a few milliseconds in lands mid-flight with dispatches
-	// to the dead node still pending.
+	// to the dead node still pending. N is sized so a single point costs
+	// several milliseconds: at kill time every worker must still be early
+	// in its queue, or the in-process self worker can steal the dead
+	// node's whole queue before its worker ever trips over the corpse.
 	sweep := service.SweepRequest{
-		Workload: service.WorkloadSpec{Name: "fig21", N: 64},
+		Workload: service.WorkloadSpec{Name: "fig21", N: 512},
 		Scheme:   service.SchemeSpec{Name: "process"},
 		Grid: service.SweepGrid{X: []int{2, 4}, P: []int{2, 4, 6, 8},
 			Chunk: []int64{1, 2, 3, 4}, BusLatency: []int64{1, 2}},

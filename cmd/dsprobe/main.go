@@ -25,6 +25,14 @@
 // within the probe window, and a gracefully drained node hands its cache
 // to the next owners so the keys stay warm cross-node hits.
 //
+// With -partition it boots the in-process cluster twice under an identical
+// seeded link-fault plan and checks the injected chaos is byte-for-byte
+// reproducible, then runs a seeded partition episode on a hand-advanced
+// clock: the minority node refuses to coordinate sweeps, the majority's
+// sweep matches the single-node oracle, and after the heal anti-entropy
+// restores every key to full replication factor before a final
+// oracle-identical sweep coordinated by the healed minority node.
+//
 // Exit status 0 means the probed cycle was observed; any deviation is one
 // line on stderr and exit 1. The smoke script runs both modes against a
 // short-cooldown server.
@@ -55,11 +63,16 @@ func main() {
 	halt := flag.Bool("halt", false, "probe the self-healing path (halt -> reclaim -> recovered success) instead of the breaker cycle")
 	clusterMode := flag.Bool("cluster", false, "probe an in-process 3-node cluster (forwarding, mid-sweep node loss, tenant shedding) instead of the breaker cycle")
 	membershipMode := flag.Bool("membership", false, "probe self-healing membership in an in-process 3-node cluster (kill -> replica serve -> rejoin -> drain handoff) instead of the breaker cycle")
+	partitionMode := flag.Bool("partition", false, "probe partition tolerance in an in-process 3-node cluster (seeded link chaos reproducibility, minority sweep refusal, heal -> anti-entropy re-replication) instead of the breaker cycle")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	if *partitionMode {
+		probePartition(ctx)
+		return
+	}
 	if *membershipMode {
 		probeMembership(ctx)
 		return

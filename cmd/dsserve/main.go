@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"github.com/csrd-repro/datasync/internal/cluster"
+	"github.com/csrd-repro/datasync/internal/fault"
 	"github.com/csrd-repro/datasync/internal/service"
 )
 
@@ -61,6 +62,8 @@ func main() {
 	rejoinAfter := flag.Int("rejoin-after", 2, "consecutive probe successes that readmit a demoted peer")
 	drainHandoff := flag.Bool("drain-handoff", true, "on shutdown, stream cache entries to their next owners before draining")
 	replicas := flag.Int("replicas", 1, "ring-successors each cache fill is replicated to (0: no replication)")
+	antiEntropy := flag.Duration("anti-entropy", time.Minute, "periodic anti-entropy scan interval; scans also run on ring transitions (0: disabled)")
+	linkFault := flag.String("link-fault", "", "seeded peer-link fault plan, e.g. seed=42,drop=link:0.1,partition=split:a+b/c:1000:5000 (testing only)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -79,11 +82,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	// The library uses negative to disable and 0 for the default; the flag's
+	// The library uses negative to disable and 0 for the default; the flags'
 	// friendlier contract is 0 = off.
 	replicaOpt := *replicas
 	if replicaOpt <= 0 {
 		replicaOpt = -1
+	}
+	aeOpt := *antiEntropy
+	if aeOpt <= 0 {
+		aeOpt = -1
+	}
+	var linkPlan *fault.LinkPlan
+	if *linkFault != "" {
+		lp, err := fault.ParseLinkSpec(*linkFault)
+		if err != nil {
+			service.Fatal(os.Stderr, "dsserve", err)
+			os.Exit(2)
+		}
+		linkPlan = &lp
 	}
 	node, err := cluster.New(cluster.Options{
 		Self:       self.ID,
@@ -95,11 +111,13 @@ func main() {
 			Burst:       *tenantBurst,
 			MaxInFlight: *tenantInflight,
 		},
-		ProbeInterval: *probeInterval,
-		SuspectAfter:  *suspectAfter,
-		RejoinAfter:   *rejoinAfter,
-		Replicas:      replicaOpt,
-		Logger:        log,
+		ProbeInterval:       *probeInterval,
+		SuspectAfter:        *suspectAfter,
+		RejoinAfter:         *rejoinAfter,
+		Replicas:            replicaOpt,
+		AntiEntropyInterval: aeOpt,
+		LinkFaults:          linkPlan,
+		Logger:              log,
 	}, service.Options{
 		Workers:          *workers,
 		QueueCap:         *queue,

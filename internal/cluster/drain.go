@@ -21,9 +21,11 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 
 	"github.com/csrd-repro/datasync/internal/cache"
 	"github.com/csrd-repro/datasync/internal/service"
@@ -87,39 +89,99 @@ func (n *Node) DrainHandoff(ctx context.Context) HandoffReport {
 		}
 	}
 
-	byOwner := make(map[string][]service.CacheEntry)
-	for _, e := range n.srv.ExportCache() {
-		k, err := cache.ParseKey(e.Key)
-		if err != nil {
-			continue
+	// Entries group by their next owner on the ring without self, and the
+	// grouping is re-derived whenever a target fails or is demoted
+	// mid-stream: the remaining entries skip to their next live successor
+	// instead of being retried into the shutdown deadline. excluded grows
+	// monotonically, so the loop terminates after at most one failure per
+	// configured member.
+	excluded := map[string]bool{n.self.ID: true}
+	regroup := func(entries []service.CacheEntry) map[string][]service.CacheEntry {
+		alive := make([]Member, 0, n.full.Size())
+		for _, m := range n.full.Members() {
+			if !excluded[m.ID] && n.PeerState(m.ID) != "demoted" {
+				alive = append(alive, m)
+			}
 		}
-		owner := rest.Owner(k).ID
-		byOwner[owner] = append(byOwner[owner], e)
+		r, err := NewRing(alive)
+		if err != nil {
+			return nil // nobody left to receive
+		}
+		out := make(map[string][]service.CacheEntry)
+		for _, e := range entries {
+			k, err := cache.ParseKey(e.Key)
+			if err != nil {
+				continue
+			}
+			out[r.Owner(k).ID] = append(out[r.Owner(k).ID], e)
+		}
+		return out
 	}
-	rep.Peers = len(byOwner)
+	batches := func(entries []service.CacheEntry) int {
+		return (len(entries) + handoffBatch - 1) / handoffBatch
+	}
 
-	for ownerID, entries := range byOwner {
-		cl := n.clients[ownerID]
+	pending := regroup(n.srv.ExportCache())
+	receivers := map[string]bool{}
+	retarget := func(entries []service.CacheEntry, failed string) {
+		excluded[failed] = true
+		re := regroup(entries)
+		if re == nil {
+			rep.FailedBatches += batches(entries)
+			return
+		}
+		for id, es := range re {
+			pending[id] = append(pending[id], es...)
+		}
+	}
+
+	for len(pending) > 0 {
+		// Stable order so two drains of the same cache behave the same.
+		ids := make([]string, 0, len(pending))
+		for id := range pending {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		id := ids[0]
+		entries := pending[id]
+		delete(pending, id)
+		cl := n.clients[id]
 		if cl == nil {
-			rep.FailedBatches += (len(entries) + handoffBatch - 1) / handoffBatch
+			rep.FailedBatches += batches(entries)
 			continue
 		}
 		for start := 0; start < len(entries); start += handoffBatch {
 			if ctx.Err() != nil {
 				n.log.Warn("cluster: drain handoff cut short by deadline",
-					"delivered", rep.Entries, "peer", ownerID)
+					"delivered", rep.Entries, "peer", id)
 				n.recordHandoffSent(rep)
 				return rep
+			}
+			if n.PeerState(id) == "demoted" {
+				// The detector demoted the target mid-stream (it crashed,
+				// or announced its own drain): skip it — nothing failed,
+				// the remainder just re-targets.
+				n.log.Warn("cluster: handoff target demoted mid-stream; re-targeting",
+					"peer", id, "remaining", len(entries)-start)
+				retarget(entries[start:], id)
+				break
 			}
 			end := min(start+handoffBatch, len(entries))
 			batch := entries[start:end]
 			req := HandoffRequest{From: n.self.ID, Reason: "drain", Entries: batch}
 			var resp handoffResponse
 			if err := cl.PostJSON(ctx, "/internal/handoff", req, &resp); err != nil {
+				// One exhausted-retries batch is evidence enough during a
+				// drain: count it lost and move the target's remaining
+				// entries to their next successor rather than feeding
+				// every batch into the same dead peer's retry budget.
 				rep.FailedBatches++
-				n.log.Warn("cluster: handoff batch failed; continuing", "peer", ownerID, "entries", len(batch), "err", err)
-				continue
+				n.log.Warn("cluster: handoff batch failed; re-targeting the remainder",
+					"peer", id, "entries", len(batch), "err", err)
+				retarget(entries[end:], id)
+				break
 			}
+			receivers[id] = true
 			rep.Batches++
 			rep.Entries += len(batch)
 			for _, e := range batch {
@@ -127,6 +189,7 @@ func (n *Node) DrainHandoff(ctx context.Context) HandoffReport {
 			}
 		}
 	}
+	rep.Peers = len(receivers)
 	n.recordHandoffSent(rep)
 	n.log.Info("cluster: drain handoff complete",
 		"peers", rep.Peers, "entries", rep.Entries, "bytes", rep.Bytes,
@@ -139,13 +202,29 @@ func (n *Node) recordHandoffSent(rep HandoffReport) {
 	n.handoffSentBytes.Add(rep.Bytes)
 }
 
+// isBodyTooLarge reports whether a request-body read failed because the
+// http.MaxBytesReader cap was hit (the 413 case, distinct from a client
+// that disconnected mid-upload).
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
 // handleHandoff imports a batch of peer cache entries (drain handoff or
 // replication push). Undecodable entries are skipped — the sender's cache
 // may outrun this binary's vocabulary during a rolling upgrade, and a
 // cache import must never fail the batch over one entry it cannot hold.
+// The body is hard-bounded: an authenticated peer must not be able to OOM
+// a receiver with one oversized frame, so beyond maxHandoffBody the read
+// stops and the batch is refused with 413.
 func (n *Node) handleHandoff(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxHandoffBody))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxHandoffBody))
 	if err != nil {
+		if isBodyTooLarge(err) {
+			n.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("cluster: handoff body exceeds %d bytes", maxHandoffBody))
+			return
+		}
 		n.writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: read handoff: %w", err))
 		return
 	}
@@ -174,8 +253,13 @@ func (n *Node) handleHandoff(w http.ResponseWriter, r *http.Request) {
 // handleDeparting demotes the announcing peer (drain cause: authoritative,
 // bypasses the cooldown) so its keys reassign before its listener closes.
 func (n *Node) handleDeparting(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
+		if isBodyTooLarge(err) {
+			n.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("cluster: departure body exceeds %d bytes", maxBody))
+			return
+		}
 		n.writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: read departure: %w", err))
 		return
 	}

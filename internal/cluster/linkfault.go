@@ -1,0 +1,103 @@
+package cluster
+
+// Seeded link-fault injection for the peer transport.
+//
+// linkTransport wraps the HTTP transport under every outbound peer
+// exchange this node makes — forwards, sweep sub-grid dispatches, probes,
+// gossip, drain handoff and replica pushes all go through the per-peer
+// service.Client or the probe client, and both hang this RoundTripper —
+// so one fault.LinkPlan gives the whole peer protocol a single
+// reproducible chaos schedule. Faults are decided by the destination
+// *member*, resolved from the request host, which keeps the schedule a
+// function of (seed, src, dst, endpoint, attempt) rather than of ports.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/fault"
+)
+
+type linkTransport struct {
+	n    *Node
+	inj  *fault.LinkInjector
+	base http.RoundTripper
+	dst  map[string]string // URL host -> member ID
+}
+
+func newLinkTransport(n *Node, inj *fault.LinkInjector) *linkTransport {
+	t := &linkTransport{
+		n:    n,
+		inj:  inj,
+		base: http.DefaultTransport,
+		dst:  make(map[string]string, n.full.Size()),
+	}
+	for _, m := range n.full.Members() {
+		if u, err := url.Parse(m.Addr); err == nil && u.Host != "" {
+			t.dst[u.Host] = m.ID
+		}
+	}
+	return t
+}
+
+func (t *linkTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	id, ok := t.dst[req.URL.Host]
+	if !ok {
+		// Not a configured peer (user traffic through a shared transport
+		// would land here); never inject.
+		return t.base.RoundTrip(req)
+	}
+	v := t.inj.Decide(t.n.self.ID, id, req.URL.Path)
+	switch {
+	case v.Cut && v.Episode != "":
+		return nil, fmt.Errorf("linkfault: partition %q cut %s->%s", v.Episode, t.n.self.ID, id)
+	case v.Cut:
+		return nil, fmt.Errorf("linkfault: black hole %s->%s", t.n.self.ID, id)
+	case v.Drop:
+		return nil, fmt.Errorf("linkfault: dropped %s->%s %s", t.n.self.ID, id, req.URL.Path)
+	}
+	if v.Delay > 0 {
+		tm := time.NewTimer(v.Delay)
+		select {
+		case <-tm.C:
+		case <-req.Context().Done():
+			tm.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if v.Dup {
+		// Deliver the exchange twice and answer with the second delivery:
+		// peer traffic is content-addressed and import-idempotent, so the
+		// duplicate must be harmless — this probes that claim. Requests
+		// whose body cannot be replayed (no GetBody) skip the duplicate.
+		if dup := t.cloneForDup(req); dup != nil {
+			if first, err := t.base.RoundTrip(dup); err == nil {
+				io.Copy(io.Discard, first.Body)
+				first.Body.Close()
+			}
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
+// cloneForDup builds an independently-sendable copy of req, or nil when
+// the body cannot be replayed.
+func (t *linkTransport) cloneForDup(req *http.Request) *http.Request {
+	dup := req.Clone(req.Context())
+	if req.Body == nil || req.Body == http.NoBody {
+		dup.Body = nil
+		return dup
+	}
+	if req.GetBody == nil {
+		return nil
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil
+	}
+	dup.Body = body
+	return dup
+}

@@ -8,11 +8,13 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/csrd-repro/datasync/internal/cache"
+	"github.com/csrd-repro/datasync/internal/fault"
 	"github.com/csrd-repro/datasync/internal/service"
 )
 
@@ -39,6 +41,15 @@ const (
 	// with the gossip absorbed from probes, converges the nodes' live sets
 	// to their intersection.
 	HeaderRingVersion = "X-DSServe-Ring-Version"
+	// HeaderSweepFence carries the coordinator's live-ring version on sweep
+	// sub-grid dispatches. Unlike HeaderRingVersion (observational, counted
+	// only), the fence is enforced: an executor whose live view disagrees
+	// rejects the dispatch with 409 instead of evaluating points against a
+	// membership the coordinator no longer believes in — the guard against
+	// split-brain double-execution during a partition. The coordinator
+	// treats the 409 as "re-plan against my current live set", never as
+	// peer death.
+	HeaderSweepFence = "X-DSServe-Sweep-Fence"
 )
 
 // Options configures a cluster node.
@@ -87,6 +98,21 @@ type Options struct {
 	// 1; negative disables). During owner loss, forwards fall through to
 	// successors, converting the loss into a replica read.
 	Replicas int
+	// AntiEntropyInterval is the period of the background re-replication
+	// scan (default 60s; negative disables): each node walks its owned
+	// keys, asks the successors which they hold, and pushes the missing
+	// replicas through the replication queue. Every live-ring transition
+	// additionally kicks an immediate scan, so a demotion or rejoin starts
+	// converging without waiting a full period.
+	AntiEntropyInterval time.Duration
+	// LinkFaults, when non-nil and enabled, arms seeded fault injection on
+	// every outbound peer exchange (fault.LinkPlan: drops, delays,
+	// duplicates, black holes, partition episodes). Chaos harnesses only.
+	LinkFaults *fault.LinkPlan
+	// LinkClock overrides the clock deciding partition-episode windows
+	// (default time.Now; probe harnesses inject a manual clock to replay
+	// even the time-windowed faults deterministically).
+	LinkClock func() time.Time
 	// Logger receives peer-event logs (default slog.Default).
 	Logger *slog.Logger
 }
@@ -129,6 +155,11 @@ func (o Options) withDefaults() Options {
 	} else if o.Replicas < 0 {
 		o.Replicas = 0
 	}
+	if o.AntiEntropyInterval == 0 {
+		o.AntiEntropyInterval = time.Minute
+	} else if o.AntiEntropyInterval < 0 {
+		o.AntiEntropyInterval = 0
+	}
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
@@ -156,6 +187,13 @@ type Node struct {
 
 	probeHTTP   *http.Client
 	probeHeader http.Header
+
+	// linkInj is the seeded link-fault injector (nil unless armed).
+	linkInj *fault.LinkInjector
+
+	// aeKick wakes the anti-entropy loop on live-ring transitions
+	// (buffered 1: a burst of transitions coalesces into one scan).
+	aeKick chan struct{}
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -188,6 +226,12 @@ type Node struct {
 	handoffSentBytes   atomic.Int64
 	handoffRecvEntries atomic.Int64
 	handoffRecvBytes   atomic.Int64
+
+	ringFenceRejects atomic.Int64 // fenced sweep dispatches rejected for ring-version skew
+	sweepReplans     atomic.Int64 // coordinator re-plans after a fence reject
+	antiPushes       atomic.Int64 // successful replica pushes driven by anti-entropy
+	antiScans        atomic.Int64 // anti-entropy scans completed
+	underreplicated  atomic.Int64 // gauge: owned keys missing >=1 replica at the last scan
 }
 
 // MembershipStats snapshots the membership, replication and handoff
@@ -252,6 +296,7 @@ func New(opts Options, srvOpts service.Options) (*Node, error) {
 		clients: make(map[string]*service.Client),
 		peers:   make(map[string]*peerHealth),
 		log:     opts.Logger,
+		aeKick:  make(chan struct{}, 1),
 		stopCh:  make(chan struct{}),
 	}
 	n.replCond = sync.NewCond(&n.replMu)
@@ -282,6 +327,24 @@ func New(opts Options, srvOpts service.Options) (*Node, error) {
 		}
 	}
 
+	if opts.LinkFaults != nil && opts.LinkFaults.Enabled() && ring.Size() > 1 {
+		if err := opts.LinkFaults.Check(); err != nil {
+			return nil, err
+		}
+		clock := opts.LinkClock
+		if clock == nil {
+			clock = time.Now
+		}
+		n.linkInj = fault.NewLinkInjectorAt(*opts.LinkFaults, clock)
+		lt := newLinkTransport(n, n.linkInj)
+		for _, cl := range n.clients {
+			cl.Transport = lt
+		}
+		n.probeHTTP.Transport = lt
+		n.log.Warn("cluster: seeded link-fault injection armed",
+			"seed", opts.LinkFaults.Seed, "partitions", len(opts.LinkFaults.Partitions))
+	}
+
 	srvOpts.HealthInfo = n.healthInfo
 	srvOpts.MetricsAppend = n.metricsAppend
 	srvOpts.Degraded = n.degraded
@@ -298,6 +361,10 @@ func New(opts Options, srvOpts service.Options) (*Node, error) {
 		if opts.Replicas > 0 {
 			n.wg.Add(1)
 			go n.replicateLoop()
+			if opts.AntiEntropyInterval > 0 {
+				n.wg.Add(1)
+				go n.antiEntropyLoop()
+			}
 		}
 	}
 	return n, nil
@@ -329,6 +396,21 @@ func (n *Node) Admission() *Admission { return n.adm }
 // Counters snapshots the peer-protocol counters (forwards, steals, errors).
 func (n *Node) Counters() (forwards, steals, peerErrors int64) {
 	return n.forwards.Load(), n.steals.Load(), n.peerErrors.Load()
+}
+
+// LinkCounts snapshots the injected link-fault counters (zero value when
+// injection is unarmed).
+func (n *Node) LinkCounts() fault.LinkCounts {
+	if n.linkInj == nil {
+		return fault.LinkCounts{}
+	}
+	return n.linkInj.Counts()
+}
+
+// FenceStats snapshots the ring-fence counters: executor-side rejects and
+// coordinator-side re-plans.
+func (n *Node) FenceStats() (rejects, replans int64) {
+	return n.ringFenceRejects.Load(), n.sweepReplans.Load()
 }
 
 // demoteCause names why a peer left the live ring; it decides whether the
@@ -429,6 +511,14 @@ func (n *Node) rebuildRingLocked() {
 		return
 	}
 	n.ring.Store(r)
+	// Every transition changes successor sets somewhere: wake the
+	// anti-entropy loop so under-replicated keys start converging now
+	// rather than at the next periodic scan. Non-blocking: a burst of
+	// transitions coalesces into one pending kick.
+	select {
+	case n.aeKick <- struct{}{}:
+	default:
+	}
 }
 
 // degraded reports the node unhealthy when more than half of its
@@ -491,7 +581,21 @@ func (n *Node) middleware(inner http.Handler) http.Handler {
 			}
 			w.Header().Set(HeaderRingVersion, n.ring.Load().Version())
 		}
-		if r.URL.Path == "/internal/handoff" || r.URL.Path == "/internal/departing" {
+		if forwarded && r.URL.Path == "/sweep" {
+			// Ring-version fence: a sub-grid dispatch carrying a fence from
+			// a coordinator whose live view disagrees with ours must not be
+			// evaluated against the stale plan — reject retryably and let
+			// the coordinator re-plan once the views converge.
+			if fence := r.Header.Get(HeaderSweepFence); fence != "" {
+				if live := n.ring.Load().Version(); fence != live {
+					n.ringFenceRejects.Add(1)
+					n.writeError(w, http.StatusConflict,
+						fmt.Errorf("cluster: ring version skew: dispatch fenced at %s, executor live at %s", fence, live))
+					return
+				}
+			}
+		}
+		if strings.HasPrefix(r.URL.Path, "/internal/") {
 			// Peer-internal endpoints: authenticated peer traffic only (the
 			// token check above already ran for forwarded requests), and no
 			// admission — cache transfer must work while a tenant is shed.
@@ -500,10 +604,16 @@ func (n *Node) middleware(inner http.Handler) http.Handler {
 					fmt.Errorf("cluster: %s is peer-internal", r.URL.Path))
 				return
 			}
-			if r.URL.Path == "/internal/handoff" {
+			switch r.URL.Path {
+			case "/internal/handoff":
 				n.handleHandoff(w, r)
-			} else {
+			case "/internal/departing":
 				n.handleDeparting(w, r)
+			case "/internal/has":
+				n.handleHas(w, r)
+			default:
+				n.writeError(w, http.StatusNotFound,
+					fmt.Errorf("cluster: unknown peer-internal endpoint %s", r.URL.Path))
 			}
 			return
 		}
@@ -748,6 +858,19 @@ func (n *Node) metricsAppend(w io.Writer) {
 	fmt.Fprintf(w, "# HELP dsserve_handoff_bytes_sent_total Cache bytes handed off during drain.\n# TYPE dsserve_handoff_bytes_sent_total counter\ndsserve_handoff_bytes_sent_total %d\n", ms.HandoffSentBytes)
 	fmt.Fprintf(w, "# HELP dsserve_handoff_entries_received_total Cache entries imported from peers (drain handoff or replication).\n# TYPE dsserve_handoff_entries_received_total counter\ndsserve_handoff_entries_received_total %d\n", ms.HandoffRecvEntries)
 	fmt.Fprintf(w, "# HELP dsserve_handoff_bytes_received_total Cache bytes imported from peers.\n# TYPE dsserve_handoff_bytes_received_total counter\ndsserve_handoff_bytes_received_total %d\n", ms.HandoffRecvBytes)
+	fmt.Fprintf(w, "# HELP dsserve_underreplicated_keys Owned keys missing at least one successor replica at the last anti-entropy scan.\n# TYPE dsserve_underreplicated_keys gauge\ndsserve_underreplicated_keys %d\n", n.underreplicated.Load())
+	fmt.Fprintf(w, "# HELP dsserve_antientropy_pushes_total Replica pushes driven by the anti-entropy scan (subset of dsserve_replica_pushes_total).\n# TYPE dsserve_antientropy_pushes_total counter\ndsserve_antientropy_pushes_total %d\n", n.antiPushes.Load())
+	fmt.Fprintf(w, "# HELP dsserve_ring_fence_rejects_total Sweep sub-grid dispatches rejected because the coordinator's ring fence disagreed with this executor's live view.\n# TYPE dsserve_ring_fence_rejects_total counter\ndsserve_ring_fence_rejects_total %d\n", n.ringFenceRejects.Load())
+	lc := fault.LinkCounts{}
+	if n.linkInj != nil {
+		lc = n.linkInj.Counts()
+	}
+	fmt.Fprintf(w, "# HELP dsserve_link_faults_injected_total Seeded faults injected into outbound peer exchanges, by kind (all zero unless -link-fault is armed).\n# TYPE dsserve_link_faults_injected_total counter\n")
+	fmt.Fprintf(w, "dsserve_link_faults_injected_total{kind=\"drop\"} %d\n", lc.Drops)
+	fmt.Fprintf(w, "dsserve_link_faults_injected_total{kind=\"delay\"} %d\n", lc.Delays)
+	fmt.Fprintf(w, "dsserve_link_faults_injected_total{kind=\"dup\"} %d\n", lc.Dups)
+	fmt.Fprintf(w, "dsserve_link_faults_injected_total{kind=\"blackhole\"} %d\n", lc.BlackHoled)
+	fmt.Fprintf(w, "dsserve_link_faults_injected_total{kind=\"partition\"} %d\n", lc.Partition)
 	sheds := n.adm.Sheds()
 	if len(sheds) > 0 {
 		fmt.Fprintf(w, "# HELP dsserve_tenant_shed_total Requests shed by per-tenant admission (429s), by tenant.\n# TYPE dsserve_tenant_shed_total counter\n")

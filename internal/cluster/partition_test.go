@@ -1,0 +1,465 @@
+package cluster
+
+// Partition-tolerance tests: ring-version-fenced sweeps, degraded-node
+// coordination refusal, anti-entropy re-replication, bounded peer-internal
+// bodies, probe jitter, asymmetric-partition gossip, and drain retargeting.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/csrd-repro/datasync/internal/cache"
+	"github.com/csrd-repro/datasync/internal/fault"
+	"github.com/csrd-repro/datasync/internal/service"
+)
+
+// syntheticEntries fabricates importable run-kind cache entries whose keys
+// satisfy the owned predicate — membership scenarios need many keys on one
+// node without paying for real simulations.
+func syntheticEntries(t *testing.T, owned func(cache.Key) bool, count int) []service.CacheEntry {
+	t.Helper()
+	body, err := json.Marshal(service.RunResponse{Workload: "synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []service.CacheEntry
+	for i := 0; len(out) < count; i++ {
+		if i > 1_000_000 {
+			t.Fatalf("could not find %d keys matching the predicate", count)
+		}
+		k := cache.Key(sha256.Sum256([]byte(fmt.Sprintf("synthetic-%d", i))))
+		if owned(k) {
+			out = append(out, service.CacheEntry{Key: k.String(), Kind: "run", Body: body})
+		}
+	}
+	return out
+}
+
+func getMetrics(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSweepFenceRejectAndReplan: an executor whose live view disagrees with
+// the coordinator's fences off the dispatch with 409; the coordinator
+// re-plans against its current live set (never demoting the rejecting
+// peer), and once the views agree the sweep completes oracle-identical.
+func TestSweepFenceRejectAndReplan(t *testing.T) {
+	tc := startCluster(t, 3, Options{StealChunk: 2})
+
+	sweep := service.SweepRequest{
+		Workload: service.WorkloadSpec{Name: "fig21", N: 24},
+		Scheme:   service.SchemeSpec{Name: "process"},
+		Grid:     service.SweepGrid{X: []int{2, 4}, P: []int{2, 4}, Chunk: []int64{1, 2, 4}},
+	}
+	_, keys, err := service.SweepPointKeys(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerCount := map[string]int{}
+	for _, k := range keys {
+		ownerCount[tc.nodes[0].Ring().Owner(k).ID]++
+	}
+	if len(ownerCount) != 3 {
+		t.Fatalf("grid's 12 keys spread over %d of 3 members (%v); enlarge the test grid", len(ownerCount), ownerCount)
+	}
+
+	// Skew the views: the executor n1 has demoted n2, the coordinator n0
+	// still holds the full ring. No probes run, so nothing converges the
+	// views behind the test's back.
+	tc.nodes[1].demote("n2", causeDrain)
+
+	b, err := json.Marshal(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type sweepOut struct {
+		code int
+		body []byte
+		err  error
+	}
+	outc := make(chan sweepOut, 1)
+	go func() {
+		resp, err := http.Post(tc.addrs[0]+"/sweep", "application/json", bytes.NewReader(b))
+		if err != nil {
+			outc <- sweepOut{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		outc <- sweepOut{code: resp.StatusCode, body: body, err: err}
+	}()
+
+	// Once the executor has fenced off at least one dispatch, converge the
+	// coordinator's view; its next plan carries a fence n1 agrees with.
+	waitFor(t, 5*time.Second, func() bool {
+		rejects, _ := tc.nodes[1].FenceStats()
+		return rejects >= 1
+	}, "executor to fence off a dispatch")
+	tc.nodes[0].demote("n2", causeDrain)
+
+	out := <-outc
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.code != http.StatusOK {
+		t.Fatalf("/sweep across skewed views: %d %s", out.code, out.body)
+	}
+	var got service.SweepResponse
+	if err := json.Unmarshal(out.body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Failed != 0 || got.Evaluated != 12 {
+		t.Fatalf("sweep evaluated %d / failed %d of 12 points: %s", got.Evaluated, got.Failed, out.body)
+	}
+
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	oracleSrv := service.NewServer(service.Options{Workers: 4, Logger: quiet})
+	defer oracleSrv.Drain(context.Background())
+	oracle, err := oracleSrv.EvalSweep(context.Background(), sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != len(oracle.Points) || len(got.Pareto) != len(oracle.Pareto) {
+		t.Fatalf("cluster %d points / %d Pareto, oracle %d / %d",
+			len(got.Points), len(got.Pareto), len(oracle.Points), len(oracle.Pareto))
+	}
+	for i := range oracle.Points {
+		a, c := oracle.Points[i], got.Points[i]
+		a.Cached, c.Cached = false, false
+		if a != c {
+			t.Errorf("point %d: oracle %+v vs cluster %+v", i, a, c)
+		}
+	}
+	for i := range oracle.Pareto {
+		a, c := oracle.Pareto[i], got.Pareto[i]
+		a.Cached, c.Cached = false, false
+		if a != c {
+			t.Errorf("Pareto point %d: oracle %+v vs cluster %+v", i, a, c)
+		}
+	}
+
+	if _, replans := tc.nodes[0].FenceStats(); replans < 1 {
+		t.Errorf("coordinator replans = %d, want >= 1", replans)
+	}
+	// A fence reject is view skew, not peer death: the rejecting executor
+	// must stay in the coordinator's ring and count no peer errors.
+	if !tc.nodes[0].Ring().Has("n1") {
+		t.Error("coordinator demoted the fencing executor")
+	}
+	if _, _, peerErrs := tc.nodes[0].Counters(); peerErrs != 0 {
+		t.Errorf("peerErrors = %d after fence rejects, want 0", peerErrs)
+	}
+	if m := getMetrics(t, tc.addrs[1]); !strings.Contains(m, "dsserve_ring_fence_rejects_total") {
+		t.Error("metrics missing dsserve_ring_fence_rejects_total")
+	}
+}
+
+// TestDegradedNodeRefusesSweepCoordination: a node on the minority side of
+// a partition (majority of configured peers demoted) answers /sweep with a
+// retryable 503 instead of coordinating against a view about to be retired.
+func TestDegradedNodeRefusesSweepCoordination(t *testing.T) {
+	tc := startCluster(t, 3, Options{})
+	tc.nodes[0].demote("n1", causeDrain)
+	tc.nodes[0].demote("n2", causeDrain)
+
+	sweep := service.SweepRequest{
+		Workload: service.WorkloadSpec{Name: "fig21", N: 24},
+		Scheme:   service.SchemeSpec{Name: "process"},
+		Grid:     service.SweepGrid{X: []int{2, 4}},
+	}
+	b, err := json.Marshal(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, tc.addrs[0]+"/sweep", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /sweep: %d %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded /sweep refusal carries no Retry-After")
+	}
+	if !strings.Contains(string(body), "refuses to coordinate") {
+		t.Errorf("refusal body %q does not name the refusal", body)
+	}
+}
+
+// TestAntiEntropyRepairsMissingReplica: keys present on their owner but
+// missing from successors (filled before a membership transition, or their
+// pushes lost) are measured via /internal/has and re-pushed until every
+// owned key has its configured replica count again.
+func TestAntiEntropyRepairsMissingReplica(t *testing.T) {
+	tc := startCluster(t, 3, Options{Replicas: 1, AntiEntropyInterval: -1})
+	full := tc.nodes[0].full
+	byID := map[string]*Node{}
+	for _, n := range tc.nodes {
+		byID[n.self.ID] = n
+	}
+
+	// Six n0-owned keys land in n0's cache without the fill hook running —
+	// exactly the shape a ring transition leaves behind.
+	entries := syntheticEntries(t, func(k cache.Key) bool {
+		return full.Owner(k).ID == "n0"
+	}, 6)
+	for _, e := range entries {
+		if err := tc.nodes[0].srv.ImportCacheEntry(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep := tc.nodes[0].AntiEntropyScan(context.Background())
+	if rep.Owned != 6 || rep.Underreplicated != 6 || rep.Enqueued != 6 || rep.Unverifiable != 0 {
+		t.Fatalf("first scan: %+v, want 6 owned, 6 underreplicated, 6 enqueued", rep)
+	}
+
+	waitFor(t, 5*time.Second, func() bool {
+		for _, e := range entries {
+			k, err := cache.ParseKey(e.Key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			succ := full.Successors(k, 1)
+			if len(succ) != 1 || !byID[succ[0].ID].srv.CacheHas(k) {
+				return false
+			}
+		}
+		return true
+	}, "every repair push to land on its successor")
+
+	rep = tc.nodes[0].AntiEntropyScan(context.Background())
+	if rep.Underreplicated != 0 || rep.Enqueued != 0 {
+		t.Fatalf("post-repair scan: %+v, want 0 underreplicated", rep)
+	}
+	scans, pushes, under := tc.nodes[0].AntiEntropyStats()
+	if scans < 2 || pushes != 6 || under != 0 {
+		t.Errorf("stats = (%d scans, %d pushes, %d under), want (>=2, 6, 0)", scans, pushes, under)
+	}
+	m := getMetrics(t, tc.addrs[0])
+	if !strings.Contains(m, "dsserve_antientropy_pushes_total 6") {
+		t.Error("metrics missing dsserve_antientropy_pushes_total 6")
+	}
+	if !strings.Contains(m, "dsserve_underreplicated_keys 0") {
+		t.Error("metrics missing dsserve_underreplicated_keys 0")
+	}
+}
+
+// TestInternalBodyBounds413: peer-internal ingestion endpoints refuse
+// oversized bodies with 413 instead of buffering them.
+func TestInternalBodyBounds413(t *testing.T) {
+	tc := startCluster(t, 2, Options{})
+	post := func(path string, body []byte) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, tc.addrs[0]+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(HeaderForwarded, "1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	huge := bytes.Repeat([]byte("x"), maxHandoffBody+1024)
+	if resp := post("/internal/handoff", huge); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized handoff: %d, want 413", resp.StatusCode)
+	}
+	big := bytes.Repeat([]byte("x"), maxBody+1024)
+	if resp := post("/internal/departing", big); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized departure: %d, want 413", resp.StatusCode)
+	}
+
+	// Control: a well-formed batch still imports.
+	ok, err := json.Marshal(HandoffRequest{From: "n1", Reason: "drain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := post("/internal/handoff", ok); resp.StatusCode != http.StatusOK {
+		t.Errorf("well-formed handoff: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestProbeJitterBounds: jittered probe intervals stay within ±10% of the
+// configured base, across the rand01 extremes and a sampled distribution.
+func TestProbeJitterBounds(t *testing.T) {
+	base := time.Second
+	if got := probeJitter(base, func() float64 { return 0 }); got != 900*time.Millisecond {
+		t.Errorf("jitter at rand01=0: %v, want 900ms", got)
+	}
+	if got := probeJitter(base, func() float64 { return 0.5 }); got != time.Second {
+		t.Errorf("jitter at rand01=0.5: %v, want 1s", got)
+	}
+	hi := probeJitter(base, func() float64 { return 0.999999 })
+	if hi < 1099*time.Millisecond || hi >= 1100*time.Millisecond {
+		t.Errorf("jitter at rand01~1: %v, want just under 1.1s", hi)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		d := probeJitter(250*time.Millisecond, rng.Float64)
+		if d < 225*time.Millisecond || d >= 275*time.Millisecond {
+			t.Fatalf("sample %d: jitter %v outside [225ms, 275ms)", i, d)
+		}
+	}
+}
+
+// TestGossipAsymmetricPartition: n0 and n2 cannot reach n1, but n1 reaches
+// both (an asymmetric link failure). The reachable majority converges on
+// the same live set (without n1); n1 keeps its full view, and requests
+// through n1 still complete in one forwarded hop — no forward loop.
+func TestGossipAsymmetricPartition(t *testing.T) {
+	tc := startCluster(t, 3, Options{
+		ProbeInterval:  25 * time.Millisecond,
+		SuspectAfter:   2,
+		RejoinAfter:    2,
+		DemoteCooldown: -1,
+		LinkFaults:     &fault.LinkPlan{BlackHole: []string{"n0>n1", "n2>n1"}},
+	})
+
+	waitFor(t, 5*time.Second, func() bool {
+		return tc.nodes[0].PeerState("n1") == "demoted" && tc.nodes[2].PeerState("n1") == "demoted"
+	}, "n0 and n2 to demote unreachable n1")
+
+	v0, v2 := tc.nodes[0].Ring().Version(), tc.nodes[2].Ring().Version()
+	if v0 != v2 {
+		t.Fatalf("majority ring versions diverge: n0=%s n2=%s", v0, v2)
+	}
+	if v1 := tc.nodes[1].Ring().Version(); v1 == v0 {
+		t.Fatal("n1 (which reaches everyone) should still hold the full ring")
+	}
+	if tc.nodes[1].PeerState("n0") != "alive" || tc.nodes[1].PeerState("n2") != "alive" {
+		t.Errorf("n1 peer states = %s/%s, want alive/alive (its outbound probes succeed)",
+			tc.nodes[1].PeerState("n0"), tc.nodes[1].PeerState("n2"))
+	}
+
+	// A request through the isolated side must still complete: n1 forwards
+	// to the owner per its full view, and the receiver serves it locally
+	// (forwarded requests never re-forward), so no loop can form even
+	// though the owner considers n1 dead.
+	req := testRunReq
+	for i := int64(24); ; i += 2 {
+		req.Workload.N = i
+		k, err := service.RunKey(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.nodes[1].full.Owner(k).ID != "n1" {
+			break
+		}
+	}
+	resp, body := postNode(t, tc.addrs[1], "/run", req, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/run through isolated n1: %d %s", resp.StatusCode, body)
+	}
+
+	if bh := tc.nodes[0].LinkCounts().BlackHoled; bh < 1 {
+		t.Errorf("n0 blackholed exchanges = %d, want >= 1", bh)
+	}
+	if m := getMetrics(t, tc.addrs[0]); !strings.Contains(m, `dsserve_link_faults_injected_total{kind="blackhole"}`) {
+		t.Error("metrics missing blackhole link-fault family")
+	}
+}
+
+// TestDrainHandoffSkipsDeadTarget: a handoff target that dies mid-drain
+// costs one failed batch, not the shutdown deadline — the remainder of its
+// entries re-target their next live successor and the drain exits promptly.
+func TestDrainHandoffSkipsDeadTarget(t *testing.T) {
+	tc := startCluster(t, 3, Options{})
+	full := tc.nodes[0].full
+
+	entries := syntheticEntries(t, func(k cache.Key) bool {
+		return full.Owner(k).ID == "n0"
+	}, 200)
+	for _, e := range entries {
+		if err := tc.nodes[0].srv.ImportCacheEntry(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Expected receivers on the ring without n0: both peers must appear, and
+	// the doomed target must hold more than one batch so the drain would
+	// visibly stall if it retried every batch into the dead peer.
+	rest, err := full.Without("n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := map[string]int{}
+	for _, e := range entries {
+		k, err := cache.ParseKey(e.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		group[rest.Owner(k).ID]++
+	}
+	if group["n1"] <= handoffBatch || group["n2"] == 0 {
+		t.Fatalf("entry spread %v; need n1 > one batch and n2 > 0 — reseed the synthetic keys", group)
+	}
+
+	tc.kill(1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	start := time.Now()
+	rep := tc.nodes[0].DrainHandoff(ctx)
+	elapsed := time.Since(start)
+
+	if elapsed > 5*time.Second {
+		t.Errorf("drain took %v with one dead target; must skip, not retry into the deadline", elapsed)
+	}
+	if rep.FailedBatches != 1 {
+		t.Errorf("failedBatches = %d, want exactly 1 (the batch that discovered the death)", rep.FailedBatches)
+	}
+	if rep.Peers != 1 {
+		t.Errorf("receiving peers = %d, want 1 (only n2 survives)", rep.Peers)
+	}
+	want := len(entries) - handoffBatch
+	if rep.Entries != want {
+		t.Errorf("delivered %d entries, want %d (all but the one lost batch)", rep.Entries, want)
+	}
+	// The retargeted remainder really landed on n2.
+	held := 0
+	for _, e := range entries {
+		k, err := cache.ParseKey(e.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.nodes[2].srv.CacheHas(k) {
+			held++
+		}
+	}
+	if held != want {
+		t.Errorf("n2 holds %d of the drained entries, want %d", held, want)
+	}
+}

@@ -31,6 +31,7 @@ package cluster
 import (
 	"encoding/json"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 )
@@ -75,10 +76,21 @@ type healthzView struct {
 	} `json:"peers"`
 }
 
-// probeLoop probes every configured peer each ProbeInterval until Stop.
+// probeJitter spreads one probe tick across ±10% of the base interval.
+// Nodes started together (a deploy restarts the fleet at once) would
+// otherwise probe in lockstep forever — synchronized bursts that load every
+// /healthz handler at the same instant and sample peer liveness at the same
+// phase. rand01 is injected for tests; it must return a value in [0, 1).
+func probeJitter(base time.Duration, rand01 func() float64) time.Duration {
+	return time.Duration(float64(base) * (0.9 + 0.2*rand01()))
+}
+
+// probeLoop probes every configured peer each ProbeInterval (±10% jitter
+// per tick) until Stop.
 func (n *Node) probeLoop() {
 	defer n.wg.Done()
-	t := time.NewTicker(n.opts.ProbeInterval)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	t := time.NewTimer(probeJitter(n.opts.ProbeInterval, rng.Float64))
 	defer t.Stop()
 	for {
 		select {
@@ -86,6 +98,7 @@ func (n *Node) probeLoop() {
 			return
 		case <-t.C:
 		}
+		t.Reset(probeJitter(n.opts.ProbeInterval, rng.Float64))
 		for _, m := range n.full.Members() {
 			if m.ID == n.self.ID {
 				continue

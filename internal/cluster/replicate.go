@@ -35,25 +35,40 @@ const replQueueCap = 256
 // replPushTimeout bounds one replica push round (all K successors).
 const replPushTimeout = 5 * time.Second
 
-// replJob is one cache fill awaiting replication.
+// replJob is one cache entry awaiting replication: a fresh fill fanned to
+// every successor, or an anti-entropy repair targeted at the one successor
+// measured to be missing it.
 type replJob struct {
 	key   cache.Key
 	entry service.CacheEntry
+	// only, when set, restricts the push to that member (it must still be
+	// a current successor of the key when the job drains).
+	only string
+	// antientropy marks repair pushes for separate accounting.
+	antientropy bool
 }
 
 // onCacheFill is the service.Options.OnCacheFill hook: enqueue and return.
 func (n *Node) onCacheFill(key cache.Key, e service.CacheEntry) {
+	n.enqueueReplica(replJob{key: key, entry: e})
+}
+
+// enqueueReplica queues one job for the replication worker, bounded with
+// drop-oldest backpressure; reports whether the job was accepted (false
+// only once the node is stopping).
+func (n *Node) enqueueReplica(job replJob) bool {
 	n.replMu.Lock()
 	defer n.replMu.Unlock()
 	if n.replStopped {
-		return
+		return false
 	}
 	if len(n.replQ) >= replQueueCap {
 		n.replQ = n.replQ[1:]
 		n.replicaDrops.Add(1)
 	}
-	n.replQ = append(n.replQ, replJob{key: key, entry: e})
+	n.replQ = append(n.replQ, job)
 	n.replCond.Signal()
+	return true
 }
 
 // replicateLoop drains the queue until Stop.
@@ -86,13 +101,20 @@ func (n *Node) replicateOne(job replJob) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), replPushTimeout)
 	defer cancel()
+	reason := "replicate"
+	if job.antientropy {
+		reason = "antientropy"
+	}
 	req := HandoffRequest{
 		From:    n.self.ID,
-		Reason:  "replicate",
+		Reason:  reason,
 		Entries: []service.CacheEntry{job.entry},
 	}
 	for _, m := range succ {
-		if m.ID == n.self.ID {
+		if m.ID == n.self.ID || (job.only != "" && m.ID != job.only) {
+			// A targeted repair whose target is no longer a successor (the
+			// ring moved again while the job was queued) is silently
+			// skipped; the next scan re-measures against the new ring.
 			continue
 		}
 		cl := n.clients[m.ID]
@@ -105,5 +127,8 @@ func (n *Node) replicateOne(job replJob) {
 			continue
 		}
 		n.replicaPushes.Add(1)
+		if job.antientropy {
+			n.antiPushes.Add(1)
+		}
 	}
 }

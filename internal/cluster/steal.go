@@ -4,14 +4,23 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/csrd-repro/datasync/internal/service"
 )
+
+// maxSweepPlans bounds how many times one sweep is re-planned after a
+// ring-version fence reject. Each re-plan regroups only the not-yet-done
+// points against the coordinator's then-current live ring, so the bound is
+// on wasted planning, not on progress: points finished under an earlier
+// plan stay finished.
+const maxSweepPlans = 5
 
 // sweepTask is one owner-aligned sub-grid of a sweep: indices into the full
 // point list, preferring execution on the node that owns those keys (so
@@ -32,11 +41,16 @@ type sweepRun struct {
 	n    *Node
 	req  service.SweepRequest
 	sels []service.GridSel
+	// fence is the version of the live ring this plan was computed
+	// against; every sub-grid dispatch carries it, and an executor whose
+	// live view disagrees answers 409 instead of evaluating.
+	fence string
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queues  map[string][]*sweepTask
-	pending int // tasks queued or executing; 0 means the sweep is drained
+	pending int  // tasks queued or executing; 0 means the sweep is drained
+	skewed  bool // a dispatch was fenced off: abort this plan, re-plan
 
 	points []service.SweepPoint
 	done   []bool
@@ -48,6 +62,19 @@ type sweepRun struct {
 // a single node would produce. Requests the coordinator cannot expand fall
 // through to the local handler, which owns the error vocabulary.
 func (n *Node) coordinateSweep(w http.ResponseWriter, r *http.Request, inner http.Handler) {
+	if deg, reason := n.degraded(); deg {
+		// A degraded node is the minority side of a partition: the
+		// majority is (or will be) coordinating sweeps against the live
+		// set both sides converge to after heal, and a minority
+		// coordinator would double-execute the grid against a view about
+		// to be retired. Keyed reads stay allowed — replicas make those
+		// safe — but cluster-wide coordination is refused.
+		w.Header().Set("Retry-After", "1")
+		n.writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("cluster: degraded node (%s) refuses to coordinate a cluster sweep; retry against the majority partition", reason))
+		return
+	}
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
 	if err != nil {
 		n.writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: read request: %w", err))
@@ -85,39 +112,88 @@ func (n *Node) coordinateSweep(w http.ResponseWriter, r *http.Request, inner htt
 		return
 	}
 
-	run := &sweepRun{
-		n:      n,
-		req:    req,
-		sels:   sels,
-		queues: make(map[string][]*sweepTask),
-		points: make([]service.SweepPoint, len(sels)),
-		done:   make([]bool, len(sels)),
-	}
-	run.cond = sync.NewCond(&run.mu)
+	// points and done persist across re-plans: a fence reject aborts the
+	// plan, never the results already merged under it.
+	points := make([]service.SweepPoint, len(sels))
+	done := make([]bool, len(sels))
 
-	// Owner-aligned sub-grids: group point indices by the owning member,
-	// then chunk each group so stealing has useful granularity.
-	ring := n.ring.Load()
-	byOwner := make(map[string][]int)
-	for i, k := range keys {
-		id := ring.Owner(k).ID
-		byOwner[id] = append(byOwner[id], i)
+	for plan := 0; plan < maxSweepPlans; plan++ {
+		if plan > 0 {
+			n.sweepReplans.Add(1)
+			// Views converge on probe cadence (gossip rides probes), so
+			// re-planning sooner than that just re-collects the same 409.
+			delay := n.opts.ProbeInterval
+			if delay <= 0 {
+				delay = 250 * time.Millisecond
+			}
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+			}
+		}
+		if r.Context().Err() != nil {
+			break
+		}
+
+		ring := n.ring.Load()
+		run := &sweepRun{
+			n:      n,
+			req:    req,
+			sels:   sels,
+			fence:  ring.Version(),
+			queues: make(map[string][]*sweepTask),
+			points: points,
+			done:   done,
+		}
+		run.cond = sync.NewCond(&run.mu)
+
+		// Owner-aligned sub-grids over the not-yet-done points: group
+		// indices by the owning member on this plan's live ring, then chunk
+		// each group so stealing has useful granularity.
+		byOwner := make(map[string][]int)
+		for i, k := range keys {
+			if done[i] {
+				continue
+			}
+			id := ring.Owner(k).ID
+			byOwner[id] = append(byOwner[id], i)
+		}
+		for id, idx := range byOwner {
+			for start := 0; start < len(idx); start += n.opts.StealChunk {
+				end := min(start+n.opts.StealChunk, len(idx))
+				run.queues[id] = append(run.queues[id], &sweepTask{owner: id, indices: idx[start:end]})
+				run.pending++
+			}
+		}
+		if run.pending == 0 {
+			break
+		}
+		if skewed := run.execute(r.Context()); !skewed {
+			break
+		}
+		n.log.Warn("cluster: sweep plan fenced off by ring version skew; re-planning",
+			"plan", plan+1, "fence", run.fence)
 	}
-	for id, idx := range byOwner {
-		for start := 0; start < len(idx); start += n.opts.StealChunk {
-			end := min(start+n.opts.StealChunk, len(idx))
-			run.queues[id] = append(run.queues[id], &sweepTask{owner: id, indices: idx[start:end]})
-			run.pending++
+
+	// Whatever is still undone after the loop failed for good: the context
+	// ended, or the views never converged within the plan budget.
+	for i, ok := range done {
+		if !ok {
+			cause := fmt.Errorf("cluster: ring version skew persisted across %d sweep plans", maxSweepPlans)
+			if r.Context().Err() != nil {
+				cause = fmt.Errorf("sweep abandoned: %v", context.Cause(r.Context()))
+			}
+			points[i] = failedSweepPoint(sels, i, cause)
 		}
 	}
 
-	run.execute(r.Context())
-
-	resp := service.SweepResponse{Workload: run.req.Workload.Name, Points: run.points}
-	if wl, err := run.req.Workload.Build(); err == nil {
+	resp := service.SweepResponse{Workload: req.Workload.Name, Points: points}
+	if wl, err := req.Workload.Build(); err == nil {
 		resp.Workload = wl.Name
 	}
-	for _, p := range run.points {
+	for _, p := range points {
 		if p.Error != "" {
 			resp.Failed++
 			continue
@@ -139,10 +215,12 @@ func (n *Node) coordinateSweep(w http.ResponseWriter, r *http.Request, inner htt
 	enc.Encode(resp)
 }
 
-// execute runs one worker per live member and waits for the sweep to drain
-// (or the request context to end, in which case unfinished points report
-// the cancellation).
-func (run *sweepRun) execute(ctx context.Context) {
+// execute runs one worker per live member and waits for this plan to drain,
+// abort on a fence reject, or see the request context end. It reports
+// whether the plan was fenced off (the coordinator then re-plans); points
+// left undone by a cancellation are marked failed by the coordinator after
+// the plan budget, not here.
+func (run *sweepRun) execute(ctx context.Context) bool {
 	// A context that ends while workers wait must wake them up.
 	stop := context.AfterFunc(ctx, func() {
 		run.mu.Lock()
@@ -163,11 +241,7 @@ func (run *sweepRun) execute(ctx context.Context) {
 
 	run.mu.Lock()
 	defer run.mu.Unlock()
-	for i, ok := range run.done {
-		if !ok {
-			run.points[i] = run.failedPoint(i, fmt.Errorf("sweep abandoned: %v", context.Cause(ctx)))
-		}
-	}
+	return run.skewed
 }
 
 // worker drains tasks for one member until the sweep completes, the
@@ -178,7 +252,7 @@ func (run *sweepRun) worker(ctx context.Context, m Member) {
 		var task *sweepTask
 		var stolen bool
 		for {
-			if run.pending == 0 || ctx.Err() != nil {
+			if run.pending == 0 || run.skewed || ctx.Err() != nil {
 				run.mu.Unlock()
 				return
 			}
@@ -255,9 +329,15 @@ func (run *sweepRun) runTask(ctx context.Context, m Member, task *sweepTask) {
 
 	// Peer dispatch rides the retrying JSON path: a peer answering 429/503
 	// (rebalancing load, briefly draining) is retried honoring Retry-After;
-	// a peer that stops answering altogether is dead.
+	// a peer that stops answering altogether is dead. The dispatch carries
+	// this plan's ring-version fence, so an executor whose live view
+	// disagrees answers 409 instead of evaluating.
+	cl := *run.n.clients[m.ID]
+	cl.Header = cl.Header.Clone()
+	cl.Header.Set(HeaderSweepFence, run.fence)
+	cl.Header.Set(HeaderRingVersion, run.fence)
 	var resp service.SweepResponse
-	err := run.n.clients[m.ID].PostJSON(ctx, "/sweep", sub, &resp)
+	err := cl.PostJSON(ctx, "/sweep", sub, &resp)
 	if err == nil && len(resp.Points) == len(task.indices) {
 		run.finish(task, resp.Points, nil)
 		return
@@ -269,10 +349,31 @@ func (run *sweepRun) runTask(ctx context.Context, m Member, task *sweepTask) {
 		run.requeue(task)
 		return
 	}
+	var se *service.StatusError
+	if errors.As(err, &se) && se.Code == http.StatusConflict {
+		// Ring version skew, not peer death: the executor's live view
+		// disagrees with the plan's. Abort this plan and let the
+		// coordinator re-plan against its current live set — demoting the
+		// executor here would manufacture exactly the split the fence
+		// exists to prevent.
+		run.n.log.Warn("cluster: sweep dispatch fenced off; aborting plan",
+			"peer", m.ID, "fence", run.fence, "err", err)
+		run.abortSkewed()
+		return
+	}
 	run.n.peerErrors.Add(1)
 	run.n.log.Warn("cluster: sweep dispatch failed; requeueing sub-grid", "peer", m.ID, "points", len(task.indices), "err", err)
 	run.n.MarkDead(m.ID)
 	run.requeue(task)
+}
+
+// abortSkewed flags the plan as fenced off and wakes every worker so the
+// run drains immediately; the undone points re-plan, they are not failures.
+func (run *sweepRun) abortSkewed() {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	run.skewed = true
+	run.cond.Broadcast()
 }
 
 // finish records a task's results (or its failure, spread over its points)
@@ -282,7 +383,7 @@ func (run *sweepRun) finish(task *sweepTask, pts []service.SweepPoint, err error
 	defer run.mu.Unlock()
 	for j, idx := range task.indices {
 		if err != nil {
-			run.points[idx] = run.failedPoint(idx, err)
+			run.points[idx] = failedSweepPoint(run.sels, idx, err)
 		} else {
 			run.points[idx] = pts[j]
 		}
@@ -301,9 +402,10 @@ func (run *sweepRun) requeue(task *sweepTask) {
 	run.cond.Broadcast()
 }
 
-// failedPoint renders one point's failure in the same shape EvalSweep uses.
-func (run *sweepRun) failedPoint(idx int, err error) service.SweepPoint {
-	sel := run.sels[idx]
+// failedSweepPoint renders one point's failure in the same shape EvalSweep
+// uses.
+func failedSweepPoint(sels []service.GridSel, idx int, err error) service.SweepPoint {
+	sel := sels[idx]
 	pt := service.SweepPoint{X: sel.X, P: sel.P, Chunk: sel.Chunk, BusLatency: sel.BusLatency, Error: service.OneLine(err)}
 	if sel.HasG {
 		pt.G = sel.G

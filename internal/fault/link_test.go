@@ -1,0 +1,173 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLinkInjectorDeterminism: two injectors with the same plan, fed the
+// same exchange sequence, must make identical decisions and end with
+// identical counts — the property that makes a distributed chaos failure
+// replayable from its seed.
+func TestLinkInjectorDeterminism(t *testing.T) {
+	plan := LinkPlan{Seed: 42, DropProb: 0.3, DelayProb: 0.25, DelayMS: 1, DupProb: 0.2}
+	drive := func() ([]LinkVerdict, LinkCounts) {
+		in := NewLinkInjector(plan)
+		var out []LinkVerdict
+		for i := 0; i < 200; i++ {
+			out = append(out, in.Decide("a", "b", "/run"))
+			out = append(out, in.Decide("b", "a", "/sweep"))
+			out = append(out, in.Decide("a", "c", "/healthz"))
+		}
+		return out, in.Counts()
+	}
+	v1, c1 := drive()
+	v2, c2 := drive()
+	if c1 != c2 {
+		t.Fatalf("counts diverge across identical runs: %+v vs %+v", c1, c2)
+	}
+	if c1.Total() == 0 {
+		t.Fatalf("600 exchanges at ~30%% fault rates injected nothing: %+v", c1)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("decision %d diverges: %+v vs %+v", i, v1[i], v2[i])
+		}
+	}
+
+	// A different seed must produce a different schedule (overwhelmingly).
+	other := plan
+	other.Seed = 43
+	ino := NewLinkInjector(other)
+	diverged := false
+	for i := 0; i < 200 && !diverged; i++ {
+		if ino.Decide("a", "b", "/run") != v1[i*3] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("seeds 42 and 43 produced identical 200-exchange schedules")
+	}
+}
+
+// TestLinkInjectorAttemptCoordinate: the attempt ordinal is part of the
+// hash coordinate, so a retry of the same (link, endpoint) is a fresh roll
+// — not a guaranteed repeat of the first attempt's fate.
+func TestLinkInjectorAttemptCoordinate(t *testing.T) {
+	plan := LinkPlan{Seed: 7, DropProb: 0.5}
+	in := NewLinkInjector(plan)
+	drops := 0
+	for i := 0; i < 64; i++ {
+		if in.Decide("a", "b", "/run").Drop {
+			drops++
+		}
+	}
+	if drops == 0 || drops == 64 {
+		t.Fatalf("64 attempts at DropProb 0.5 dropped %d — the attempt ordinal is not feeding the hash", drops)
+	}
+}
+
+// TestLinkInjectorBlackHole: a black-holed link is cut in exactly its
+// direction, always, regardless of probabilities.
+func TestLinkInjectorBlackHole(t *testing.T) {
+	in := NewLinkInjector(LinkPlan{BlackHole: []string{"a>b"}})
+	for i := 0; i < 10; i++ {
+		if v := in.Decide("a", "b", "/healthz"); !v.Cut {
+			t.Fatalf("black-holed a>b delivered on attempt %d", i)
+		}
+		if v := in.Decide("b", "a", "/healthz"); v.Cut {
+			t.Fatalf("reverse link b>a cut by a>b black hole on attempt %d", i)
+		}
+	}
+	if c := in.Counts(); c.BlackHoled != 10 {
+		t.Errorf("BlackHoled = %d, want 10", c.BlackHoled)
+	}
+}
+
+// TestLinkInjectorPartitionWindow: a partition episode cuts cross-island
+// links only inside its [start, heal) window, keeps intra-island links
+// alive throughout, and puts unlisted members in the implicit island.
+func TestLinkInjectorPartitionWindow(t *testing.T) {
+	plan := LinkPlan{Partitions: []PartitionEpisode{{
+		Name:    "split",
+		Islands: [][]string{{"c"}},
+		StartMS: 1000,
+		HealMS:  2000,
+	}}}
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	in := NewLinkInjectorAt(plan, clock)
+	cut := func(src, dst string) bool { return in.Decide(src, dst, "/run").Cut }
+
+	if cut("a", "c") || cut("c", "a") {
+		t.Fatal("partition active before its start time")
+	}
+	if in.PartitionActive() {
+		t.Fatal("PartitionActive before start")
+	}
+	advance(1500 * time.Millisecond)
+	if !cut("a", "c") || !cut("c", "b") {
+		t.Fatal("cross-island link alive inside the partition window")
+	}
+	// a and b are both unlisted: same implicit island, never cut.
+	if cut("a", "b") || cut("b", "a") {
+		t.Fatal("intra-island link cut by the partition")
+	}
+	if !in.PartitionActive() {
+		t.Fatal("PartitionActive false mid-window")
+	}
+	advance(1000 * time.Millisecond) // elapsed 2500ms: healed
+	if cut("a", "c") || cut("c", "a") {
+		t.Fatal("partition still cutting after its heal time")
+	}
+	if in.PartitionActive() {
+		t.Fatal("PartitionActive after heal")
+	}
+	if c := in.Counts(); c.Partition != 2 {
+		t.Errorf("Partition cuts = %d, want 2", c.Partition)
+	}
+}
+
+// TestParseLinkSpec: the mini-language round-trips into the plan fields,
+// and garbage is an input error.
+func TestParseLinkSpec(t *testing.T) {
+	p, err := ParseLinkSpec("seed=42,drop=link:0.05,delay=link:0.1:40,dup=link:0.02,blackhole=a>b,partition=split:c/a+b:2000:8000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.DropProb != 0.05 || p.DelayProb != 0.1 || p.DelayMS != 40 || p.DupProb != 0.02 {
+		t.Errorf("parsed plan %+v", p)
+	}
+	if len(p.BlackHole) != 1 || p.BlackHole[0] != "a>b" {
+		t.Errorf("black hole = %v", p.BlackHole)
+	}
+	if len(p.Partitions) != 1 {
+		t.Fatalf("partitions = %v", p.Partitions)
+	}
+	ep := p.Partitions[0]
+	if ep.Name != "split" || ep.StartMS != 2000 || ep.HealMS != 8000 {
+		t.Errorf("episode = %+v", ep)
+	}
+	if len(ep.Islands) != 2 || len(ep.Islands[0]) != 1 || ep.Islands[0][0] != "c" ||
+		len(ep.Islands[1]) != 2 || ep.Islands[1][0] != "a" || ep.Islands[1][1] != "b" {
+		t.Errorf("islands = %v", ep.Islands)
+	}
+
+	for _, bad := range []string{
+		"drop=link:1.5",           // probability out of range
+		"blackhole=ab",            // not src>dst
+		"partition=:a/b",          // no name
+		"partition=p:a/b:500:100", // heals before start
+		"partition=p:a+b/a:0:100", // member in two islands
+		"warp=link:0.5",           // unknown key
+		"delay=bus:0.5",           // wrong target
+	} {
+		if _, err := ParseLinkSpec(bad); err == nil {
+			t.Errorf("ParseLinkSpec(%q) accepted garbage", bad)
+		}
+	}
+}

@@ -32,6 +32,12 @@ type Client struct {
 	// it for the peer protocol: the shared peer token, the forwarded flag
 	// and the sending node's attribution ride here.
 	Header http.Header
+	// Transport, when set, overrides the HTTP transport for this client's
+	// exchanges (a shallow copy of HTTP gets it, so a shared http.Client is
+	// never mutated). The cluster layer hangs its seeded link-fault
+	// injector here: every peer exchange — forwards, sweep dispatches,
+	// handoff, replication — then crosses the same chaos schedule.
+	Transport http.RoundTripper
 	// OnRetry, when set, observes each retry decision (smoke scripts log it).
 	OnRetry func(attempt int, delay time.Duration, cause string)
 }
@@ -40,6 +46,11 @@ func (c *Client) withDefaults() Client {
 	out := *c
 	if out.HTTP == nil {
 		out.HTTP = http.DefaultClient
+	}
+	if out.Transport != nil {
+		hc := *out.HTTP
+		hc.Transport = out.Transport
+		out.HTTP = &hc
 	}
 	if out.MaxAttempts <= 0 {
 		out.MaxAttempts = 5
@@ -51,6 +62,20 @@ func (c *Client) withDefaults() Client {
 		out.MaxDelay = 2 * time.Second
 	}
 	return out
+}
+
+// StatusError is a terminal non-200 HTTP answer: the server responded, the
+// response just wasn't success. Callers that must branch on the code — the
+// cluster's sweep coordinator treating a 409 ring-skew reject as "re-plan"
+// rather than "peer dead" — unwrap it with errors.As.
+type StatusError struct {
+	Path string
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: %s: %d %s", e.Path, e.Code, e.Msg)
 }
 
 // PostJSON posts in to path and decodes the 200 response into out,
@@ -78,10 +103,10 @@ func (c *Client) PostJSON(ctx context.Context, path string, in, out any) error {
 			}
 			return nil
 		case resp.code == http.StatusTooManyRequests || resp.code == http.StatusServiceUnavailable:
-			lastErr = fmt.Errorf("client: %s: %d %s", path, resp.code, resp.message())
+			lastErr = &StatusError{Path: path, Code: resp.code, Msg: resp.message()}
 			retry, retryAfter = true, resp.retryAfter
 		default:
-			return fmt.Errorf("client: %s: %d %s", path, resp.code, resp.message())
+			return &StatusError{Path: path, Code: resp.code, Msg: resp.message()}
 		}
 		if !retry || attempt >= cl.MaxAttempts {
 			return fmt.Errorf("client: giving up after %d attempts: %w", attempt, lastErr)

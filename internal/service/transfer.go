@@ -95,6 +95,23 @@ func (s *Server) ImportCacheEntry(e CacheEntry) error {
 	return nil
 }
 
+// RangeCacheKeys calls f for every cached key, most recently used first.
+// The anti-entropy scan walks ownership this way without exporting bodies
+// it may never need to push.
+func (s *Server) RangeCacheKeys(f func(cache.Key)) {
+	s.cache.Range(func(k cache.Key, _ any) { f(k) })
+}
+
+// ExportCacheEntry encodes the single entry stored under k (ok=false for
+// absent keys and non-transferable values).
+func (s *Server) ExportCacheEntry(k cache.Key) (CacheEntry, bool) {
+	v, ok := s.cache.Peek(k)
+	if !ok {
+		return CacheEntry{}, false
+	}
+	return encodeCacheValue(k, v)
+}
+
 // CacheHas reports whether the result cache holds the key, without
 // touching recency or the hit/miss counters (replica-hit accounting).
 func (s *Server) CacheHas(k cache.Key) bool {

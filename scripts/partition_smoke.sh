@@ -1,0 +1,192 @@
+#!/usr/bin/env bash
+# Smoke-test partition tolerance end to end with real processes: boot three
+# dsserve nodes whose peer links share a seeded fault plan with one named
+# partition episode that cuts node c from {a, b} on a timer. Before the
+# window opens the cluster works normally; while it holds, the minority
+# node refuses to coordinate cluster sweeps (503) and the majority's sweep
+# still matches a standalone single-node oracle, with the injected
+# partition cuts visible in /metrics. Keys filled on the majority during
+# the window are under-replicated toward c; after the heal the probers
+# readmit everyone and anti-entropy pushes the starved replicas until the
+# under-replication gauge returns to zero, after which the healed minority
+# node coordinates an oracle-identical sweep. Every wait below is a bounded
+# loop — the script fails rather than hangs.
+set -euo pipefail
+
+PORT_BASE="${DSPARTITION_PORT_BASE:-18091}"
+PA=$PORT_BASE PB=$((PORT_BASE + 1)) PC=$((PORT_BASE + 2)) PO=$((PORT_BASE + 3))
+BASE_A="http://127.0.0.1:$PA" BASE_B="http://127.0.0.1:$PB" BASE_C="http://127.0.0.1:$PC"
+BASE_O="http://127.0.0.1:$PO"
+BINDIR="$(mktemp -d)"
+BIN="$BINDIR/dsserve"
+TOKEN="smoke-peer-token"
+# The episode is timed from each node's boot: the window must open well
+# after the startup checks and close well after the partition-phase checks.
+FAULTS="seed=42,partition=split:c:6000:25000"
+
+go build -o "$BIN" ./cmd/dsserve
+
+start_node() { # $1=id $2=port $3=peers-spec $4=log
+  # -replicas 2 puts every fill on every node, so under-replication after
+  # the partition is exactly the fills node c missed; -anti-entropy 1s
+  # repairs it promptly once the ring heals.
+  "$BIN" -addr "127.0.0.1:$2" -node-id "$1" -advertise "http://127.0.0.1:$2" \
+    -peers "$3" -peer-token "$TOKEN" -workers 2 \
+    -probe-interval 250ms -suspect-after 2 -rejoin-after 2 \
+    -replicas 2 -anti-entropy 1s -link-fault "$FAULTS" 2>"$4" &
+}
+
+LOG_A="$(mktemp)" LOG_B="$(mktemp)" LOG_C="$(mktemp)" LOG_O="$(mktemp)"
+start_node a "$PA" "b=$BASE_B,c=$BASE_C" "$LOG_A"; PID_A=$!
+start_node b "$PB" "a=$BASE_A,c=$BASE_C" "$LOG_B"; PID_B=$!
+start_node c "$PC" "a=$BASE_A,b=$BASE_B" "$LOG_C"; PID_C=$!
+# A standalone single-node oracle, outside the cluster and the fault plan.
+"$BIN" -addr "127.0.0.1:$PO" -node-id oracle -workers 2 2>"$LOG_O" &
+PID_O=$!
+cleanup() {
+  kill "$PID_A" "$PID_B" "$PID_C" "$PID_O" 2>/dev/null || true
+  echo "--- node a log ---" >&2; cat "$LOG_A" >&2 || true
+  echo "--- node b log ---" >&2; cat "$LOG_B" >&2 || true
+  echo "--- node c log ---" >&2; cat "$LOG_C" >&2 || true
+  echo "--- oracle log ---" >&2; cat "$LOG_O" >&2 || true
+}
+trap cleanup EXIT
+
+peer_state() { # $1=base $2=peer-id -> prints the state, if any
+  curl -s "$1/healthz" | grep -A1 "\"id\": \"$2\"" | grep -o '"state": "[a-z]*"' || true
+}
+metric() { # $1=base $2=exact exposition line prefix (may contain labels)
+  curl -s "$1/metrics" | awk -v name="$2" 'index($0, name " ") == 1 {print $2}'
+}
+# The sweep bodies are compared byte-for-byte modulo cache provenance:
+# whether a point was served hot and how many grid cells hit the cache
+# legitimately differ between the cluster and the cold oracle.
+normalize_sweep() {
+  sed -E 's/"cacheHits": [0-9]+/"cacheHits": 0/; s/"cached": true/"cached": false/'
+}
+
+# Startup: all four nodes healthy, the cluster agreed on one ring.
+for base in "$BASE_A" "$BASE_B" "$BASE_C" "$BASE_O"; do
+  for i in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
+  curl -fsS "$base/healthz" | grep -q '"status": "ok"' || {
+    echo "node at $base not healthy" >&2; exit 1; }
+done
+ring_a=$(curl -fsS "$BASE_A/healthz" | grep '"ringVersion"')
+for base in "$BASE_B" "$BASE_C"; do
+  curl -fsS "$base/healthz" | grep -qF "$ring_a" || {
+    echo "pre-partition ring version mismatch at $base" >&2; exit 1; }
+done
+
+# Pre-partition traffic flows cross-node: fill via a, hit cached via c.
+body='{"workload":{"name":"fig21","n":60},"scheme":{"name":"process","x":4},"config":{"p":4}}'
+curl -fsS -X POST "$BASE_A/run" -d "$body" | grep -q '"cached": false' || {
+  echo "first pre-partition /run was already cached?" >&2; exit 1; }
+curl -fsS -X POST "$BASE_C/run" -d "$body" | grep -q '"cached": true' || {
+  echo "pre-partition repeat through c missed the cluster cache" >&2; exit 1; }
+echo "partition smoke: pre-partition cluster serves cross-node"
+
+# The oracle answer for the sweep both phases are checked against.
+sweep='{"workload":{"name":"fig21","n":48},"scheme":{"name":"process"},"grid":{"x":[2,4],"p":[2,4],"chunk":[1,2]}}'
+oracle=$(curl -fsS -X POST "$BASE_O/sweep" -d "$sweep" | normalize_sweep)
+echo "$oracle" | grep -q '"failed": 0' || { echo "oracle sweep failed: $oracle" >&2; exit 1; }
+
+# Wait for the episode window: both sides must see the cut.
+for i in $(seq 1 80); do
+  if peer_state "$BASE_A" c | grep -q demoted && peer_state "$BASE_C" a | grep -q demoted; then
+    break
+  fi
+  sleep 0.25
+done
+peer_state "$BASE_A" c | grep -q demoted || {
+  echo "node a never demoted c inside the partition window" >&2; exit 1; }
+peer_state "$BASE_C" a | grep -q demoted || {
+  echo "node c never demoted a inside the partition window" >&2; exit 1; }
+echo "partition smoke: partition open, both sides demoted across the cut"
+
+# The minority node must refuse to coordinate a cluster sweep.
+minority=$(mktemp)
+code=$(curl -s -o "$minority" -w '%{http_code}' -X POST "$BASE_C/sweep" -d "$sweep")
+[ "$code" = "503" ] || {
+  echo "minority /sweep answered $code, want 503: $(cat "$minority")" >&2; exit 1; }
+grep -q 'refuses to coordinate' "$minority" || {
+  echo "minority 503 body is not the coordination refusal: $(cat "$minority")" >&2; exit 1; }
+echo "partition smoke: minority node refused sweep coordination with 503"
+
+# The majority's sweep must equal the oracle modulo cache provenance.
+majority=$(curl -fsS -X POST "$BASE_A/sweep" -d "$sweep" | normalize_sweep)
+[ "$majority" = "$oracle" ] || {
+  echo "majority sweep diverges from the oracle during the partition" >&2
+  echo "--- oracle ---" >&2; echo "$oracle" >&2
+  echo "--- majority ---" >&2; echo "$majority" >&2; exit 1; }
+echo "partition smoke: majority sweep matches the single-node oracle"
+
+# Fill keys on the majority while c is cut off: their replica pushes cannot
+# reach c, so they are exactly what anti-entropy must repair after the heal.
+for i in $(seq 1 8); do
+  fill="{\"workload\":{\"name\":\"fig21\",\"n\":$((70 + 2 * i))},\"scheme\":{\"name\":\"process\",\"x\":4},\"config\":{\"p\":4}}"
+  curl -fsS -X POST "$BASE_A/run" -d "$fill" >/dev/null || {
+    echo "mid-partition fill $i failed" >&2; exit 1; }
+done
+
+# The injected cuts must be visible in /metrics on the nodes doing the
+# cutting (every side of the partition sends into the wall).
+cuts=0
+for base in "$BASE_A" "$BASE_B" "$BASE_C"; do
+  v=$(metric "$base" 'dsserve_link_faults_injected_total{kind="partition"}')
+  cuts=$((cuts + ${v:-0}))
+done
+[ "$cuts" -ge 1 ] || {
+  echo "no partition-kind link faults recorded across the cluster" >&2; exit 1; }
+echo "partition smoke: $cuts partition cuts injected and counted"
+
+# Heal: the window closes on its own; probers must readmit both directions.
+for i in $(seq 1 120); do
+  if peer_state "$BASE_A" c | grep -q alive && peer_state "$BASE_C" a | grep -q alive &&
+     peer_state "$BASE_B" c | grep -q alive && peer_state "$BASE_C" b | grep -q alive; then
+    break
+  fi
+  sleep 0.25
+done
+peer_state "$BASE_A" c | grep -q alive || {
+  echo "node a never readmitted c after the heal" >&2; exit 1; }
+peer_state "$BASE_C" a | grep -q alive || {
+  echo "node c never readmitted a after the heal" >&2; exit 1; }
+echo "partition smoke: partition healed, peers readmitted"
+
+# Anti-entropy must notice the starved replicas and repair them: pushes
+# counted, and the under-replication gauge back to zero on every node.
+for i in $(seq 1 60); do
+  pushes=0 under=0
+  for base in "$BASE_A" "$BASE_B" "$BASE_C"; do
+    p=$(metric "$base" 'dsserve_antientropy_pushes_total')
+    u=$(metric "$base" 'dsserve_underreplicated_keys')
+    pushes=$((pushes + ${p:-0})); under=$((under + ${u:-0}))
+  done
+  if [ "$pushes" -ge 1 ] && [ "$under" -eq 0 ]; then break; fi
+  sleep 0.5
+done
+[ "$pushes" -ge 1 ] || {
+  echo "anti-entropy recorded no pushes after the heal" >&2; exit 1; }
+[ "$under" -eq 0 ] || {
+  echo "under-replicated keys never returned to zero (still $under)" >&2; exit 1; }
+echo "partition smoke: anti-entropy repaired the starved replicas ($pushes pushes, 0 under-replicated)"
+
+# The healed minority node coordinates again, oracle-identical.
+healed=$(curl -fsS -X POST "$BASE_C/sweep" -d "$sweep" | normalize_sweep)
+[ "$healed" = "$oracle" ] || {
+  echo "post-heal sweep via c diverges from the oracle" >&2
+  echo "--- oracle ---" >&2; echo "$oracle" >&2
+  echo "--- healed ---" >&2; echo "$healed" >&2; exit 1; }
+echo "partition smoke: post-heal sweep via the healed minority matches the oracle"
+
+# Clean shutdown all around.
+kill -TERM "$PID_A" "$PID_B" "$PID_C" "$PID_O"
+for pid in "$PID_A" "$PID_B" "$PID_C" "$PID_O"; do
+  rc=0; wait "$pid" || rc=$?
+  [ "$rc" = "0" ] || { echo "a node exited $rc after SIGTERM, want 0" >&2; exit 1; }
+done
+trap - EXIT
+echo "partition smoke: OK"
